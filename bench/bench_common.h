@@ -1,0 +1,150 @@
+// Shared plumbing for the table/figure harnesses: markdown table printing,
+// budget defaults, and a uniform "run one solver, render OOT/OOM" helper.
+//
+// Every harness prints GitHub-flavored markdown mirroring the layout of the
+// corresponding paper table/figure, runs with no arguments at a laptop
+// scale, and accepts:
+//   --scale=<f>      multiply dataset node counts
+//   --budget-ms=<ms> per-run time budget (0 = unlimited)
+//   --gc-mem-mb=<mb> memory budget for clique-storing methods (GC/OPT)
+//   --opt-ms=<ms>    time budget for the exact baseline
+//   --kmin/--kmax    k range (default 3..6, as in the paper)
+
+#ifndef DKC_BENCH_BENCH_COMMON_H_
+#define DKC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "util/flags.h"
+
+namespace dkc {
+namespace bench {
+
+struct BenchConfig {
+  double scale = 1.0;
+  double budget_ms = 60000;   // heuristic methods
+  double opt_ms = 2000;       // exact baseline (expected to OOT, as in paper)
+  int64_t gc_mem_mb = 1024;   // clique-store budget (GC/OPT OOM reproduction)
+  int kmin = 3;
+  int kmax = 6;
+
+  static BenchConfig FromFlags(const Flags& flags) {
+    BenchConfig config;
+    config.scale = flags.GetDouble("scale", config.scale);
+    config.budget_ms = flags.GetDouble("budget-ms", config.budget_ms);
+    config.opt_ms = flags.GetDouble("opt-ms", config.opt_ms);
+    config.gc_mem_mb = flags.GetInt("gc-mem-mb", config.gc_mem_mb);
+    config.kmin = static_cast<int>(flags.GetInt("kmin", config.kmin));
+    config.kmax = static_cast<int>(flags.GetInt("kmax", config.kmax));
+    return config;
+  }
+};
+
+/// One solver run outcome, ready for table rendering.
+struct Cell {
+  bool ok = false;
+  bool oot = false;
+  bool oom = false;
+  double time_ms = 0;
+  NodeId size = 0;
+  int64_t bytes = 0;
+  Count cliques = 0;
+
+  std::string Text(const std::string& value) const {
+    if (oot) return "OOT";
+    if (oom) return "OOM";
+    if (!ok) return "ERR";
+    return value;
+  }
+};
+
+inline Cell RunMethod(const Graph& g, Method method, int k,
+                      const BenchConfig& config) {
+  SolverOptions options;
+  options.k = k;
+  options.method = method;
+  options.budget.time_ms =
+      method == Method::kOPT ? config.opt_ms : config.budget_ms;
+  if (method == Method::kGC || method == Method::kOPT) {
+    options.budget.memory_bytes = config.gc_mem_mb * (1 << 20);
+  }
+  auto result = Solve(g, options);
+  Cell cell;
+  if (!result.ok()) {
+    cell.oot = result.status().IsTimeBudgetExceeded();
+    cell.oom = result.status().IsMemoryBudgetExceeded();
+    return cell;
+  }
+  cell.ok = true;
+  cell.time_ms = result->stats.total_ms();
+  cell.size = result->size();
+  cell.bytes = result->stats.structure_bytes;
+  cell.cliques = result->stats.cliques_listed;
+  return cell;
+}
+
+// ---- markdown table rendering -------------------------------------------
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  std::printf("|");
+  for (const auto& cell : cells) std::printf(" %s |", cell.c_str());
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::vector<std::string>& cells) {
+  PrintRow(cells);
+  std::printf("|");
+  for (size_t i = 0; i < cells.size(); ++i) std::printf("---|");
+  std::printf("\n");
+}
+
+inline std::string FormatMs(double ms) {
+  char buffer[64];
+  if (ms >= 1000) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", ms / 1000);
+  } else if (ms >= 1) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fms", ms);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0fus", ms * 1000);
+  }
+  return buffer;
+}
+
+inline std::string FormatCount(Count value) {
+  char buffer[64];
+  if (value >= 1000000000ull) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fB", value / 1e9);
+  } else if (value >= 1000000) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fM", value / 1e6);
+  } else if (value >= 10000) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fK", value / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+  }
+  return buffer;
+}
+
+inline std::string FormatMb(int64_t bytes) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1fMB", bytes / 1048576.0);
+  return buffer;
+}
+
+inline std::string FormatInt(int64_t v) { return std::to_string(v); }
+
+/// Signed delta rendering for Tables II/VI/VIII ("Δ vs HG" columns).
+inline std::string FormatDelta(int64_t delta) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%+lld",
+                static_cast<long long>(delta));
+  return buffer;
+}
+
+}  // namespace bench
+}  // namespace dkc
+
+#endif  // DKC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,157 @@
+// Figure 7 and Table VIII: dynamic update performance.
+//
+// Per dataset and k: run the paper's three workloads — W deletions of
+// sampled edges, W insertions (adding them back), and a 2W mixed stream on
+// a prepared graph — reporting the average time per update in nanoseconds
+// (Fig. 7) and the size of the maintained S relative to rebuilding from
+// scratch on the final graph (Table VIII's Δ).
+//
+// W defaults to 1000 (the paper uses 10K at its dataset scale); small
+// datasets automatically clamp to their edge counts.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "datasets.h"
+#include "dynamic/dynamic_solver.h"
+#include "dynamic/workload.h"
+#include "util/timer.h"
+
+namespace {
+
+struct UpdateRun {
+  bool ok = false;
+  double avg_ns = 0;
+  int64_t delta_vs_scratch = 0;  // maintained |S| minus from-scratch |S|
+};
+
+int64_t FromScratchSize(const dkc::Graph& g, int k, double budget_ms) {
+  dkc::SolverOptions options;
+  options.k = k;
+  options.method = dkc::Method::kLP;
+  options.budget.time_ms = budget_ms;
+  auto result = dkc::Solve(g, options);
+  return result.ok() ? static_cast<int64_t>(result->size()) : -1;
+}
+
+// Applies `ops` on a fresh solver over `start`; fills timing and ΔS.
+UpdateRun Run(const dkc::Graph& start,
+              const std::vector<dkc::UpdateOp>& ops, int k,
+              double budget_ms) {
+  UpdateRun run;
+  dkc::DynamicOptions options;
+  options.k = k;
+  options.initial_budget.time_ms = budget_ms;
+  auto solver = dkc::DynamicSolver::Build(start, options);
+  if (!solver.ok()) return run;
+  dkc::Timer timer;
+  for (const auto& op : ops) {
+    const dkc::Status status =
+        op.is_insert ? solver->InsertEdge(op.edge.first, op.edge.second)
+                     : solver->DeleteEdge(op.edge.first, op.edge.second);
+    if (!status.ok()) return run;
+  }
+  const double total_ns = static_cast<double>(timer.ElapsedNanos());
+  const int64_t scratch =
+      FromScratchSize(solver->graph().ToGraph(), k, budget_ms);
+  if (scratch < 0) return run;
+  run.ok = true;
+  run.avg_ns = ops.empty() ? 0 : total_ns / static_cast<double>(ops.size());
+  run.delta_vs_scratch =
+      static_cast<int64_t>(solver->solution_size()) - scratch;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dkc::Flags flags(argc, argv);
+  const auto config = dkc::bench::BenchConfig::FromFlags(flags);
+  const size_t w = static_cast<size_t>(flags.GetInt("updates", 1000));
+
+  struct RowResult {
+    std::string name;
+    std::vector<UpdateRun> del, ins, mix;  // one entry per k
+  };
+  std::vector<RowResult> rows;
+
+  for (const auto& spec : dkc::bench::PaperSuite()) {
+    dkc::Graph g = dkc::bench::Materialize(spec, config.scale);
+    dkc::Rng rng(spec.seed + 0xF17);
+    // Deletion workload W edges; insertion adds the same edges back to the
+    // deleted graph; mixed = the paper's prepared-graph stream.
+    const size_t count = std::min<size_t>(w, g.num_edges() / 2);
+    auto victims = dkc::SampleEdges(g, count, rng);
+    dkc::Graph without = dkc::RemoveEdges(g, victims);
+    std::vector<dkc::UpdateOp> deletions, insertions;
+    for (const auto& e : victims) {
+      deletions.push_back({false, e});
+      insertions.push_back({true, e});
+    }
+    dkc::MixedWorkload mixed = dkc::MakeMixedWorkload(g, count, count, rng);
+
+    RowResult row;
+    row.name = spec.name;
+    for (int k = config.kmin; k <= config.kmax; ++k) {
+      row.del.push_back(Run(g, deletions, k, config.budget_ms));
+      row.ins.push_back(Run(without, insertions, k, config.budget_ms));
+      row.mix.push_back(Run(mixed.prepared, mixed.ops, k, config.budget_ms));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  auto print_time_table = [&](const char* title,
+                              std::vector<UpdateRun> RowResult::*member) {
+    std::printf("\n### Fig. 7 — %s: average update time (ns)\n\n", title);
+    std::vector<std::string> header = {"Dataset"};
+    for (int k = config.kmin; k <= config.kmax; ++k) {
+      header.push_back("k=" + std::to_string(k));
+    }
+    dkc::bench::PrintHeader(header);
+    for (const auto& row : rows) {
+      std::vector<std::string> cells = {row.name};
+      for (const auto& run : row.*member) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.0f", run.avg_ns);
+        cells.push_back(run.ok ? buffer : "ERR");
+      }
+      dkc::bench::PrintRow(cells);
+    }
+  };
+
+  std::printf("## Figure 7: average update time (W=%zu per workload, "
+              "scale=%.2f)\n", w, config.scale);
+  print_time_table("deletions", &RowResult::del);
+  print_time_table("insertions", &RowResult::ins);
+  print_time_table("mixed", &RowResult::mix);
+
+  std::printf("\n## Table VIII: quality of S after updates (Δ vs building "
+              "from scratch)\n");
+  auto print_delta_table = [&](const char* title,
+                               std::vector<UpdateRun> RowResult::*member) {
+    std::printf("\n### after %s\n\n", title);
+    std::vector<std::string> header = {"Dataset"};
+    for (int k = config.kmin; k <= config.kmax; ++k) {
+      header.push_back("k=" + std::to_string(k));
+    }
+    dkc::bench::PrintHeader(header);
+    for (const auto& row : rows) {
+      std::vector<std::string> cells = {row.name};
+      for (const auto& run : row.*member) {
+        cells.push_back(run.ok ? dkc::bench::FormatDelta(run.delta_vs_scratch)
+                               : "ERR");
+      }
+      dkc::bench::PrintRow(cells);
+    }
+  };
+  print_delta_table("deletions", &RowResult::del);
+  print_delta_table("insertions", &RowResult::ins);
+  print_delta_table("mixed updates", &RowResult::mix);
+
+  std::printf("\nExpected shape vs paper Fig. 7 / Table VIII: updates cost "
+              "micro- not milliseconds\nand grow with k; ΔS stays within a "
+              "fraction of a percent of |S| (sometimes\npositive — the swap "
+              "reaches local optima a fresh greedy run misses).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Component micro-benchmarks (google-benchmark): the inner kernels whose
+// constants decide the table-level numbers — sorted intersection, k-clique
+// counting/scoring, the FindMin-backed lightweight solve, and single
+// dynamic updates. Not a paper table; used to catch kernel regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "clique/kclique.h"
+#include "core/lightweight.h"
+#include "core/solver.h"
+#include "dynamic/dynamic_solver.h"
+#include "dynamic/workload.h"
+#include "gen/generators.h"
+#include "graph/dag.h"
+#include "graph/ordering.h"
+
+namespace {
+
+dkc::Graph MakeWs(dkc::NodeId n, dkc::Count degree) {
+  dkc::Rng rng(0xBE7C);
+  return std::move(dkc::WattsStrogatz(n, degree, 0.1, rng)).value();
+}
+
+void BM_IntersectSorted(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::vector<dkc::NodeId> a(size), b(size), out;
+  for (size_t i = 0; i < size; ++i) {
+    a[i] = static_cast<dkc::NodeId>(2 * i);
+    b[i] = static_cast<dkc::NodeId>(3 * i);
+  }
+  for (auto _ : state) {
+    dkc::IntersectSorted(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * size));
+}
+BENCHMARK(BM_IntersectSorted)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DegeneracyOrdering(benchmark::State& state) {
+  dkc::Graph g = MakeWs(static_cast<dkc::NodeId>(state.range(0)), 16);
+  for (auto _ : state) {
+    auto ordering = dkc::DegeneracyOrdering(g);
+    benchmark::DoNotOptimize(ordering.rank.data());
+  }
+}
+BENCHMARK(BM_DegeneracyOrdering)->Arg(1000)->Arg(10000);
+
+void BM_CountKCliques(benchmark::State& state) {
+  dkc::Graph g = MakeWs(2000, 16);
+  dkc::Dag dag(g, dkc::DegeneracyOrdering(g));
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dkc::CountKCliques(dag, k));
+  }
+}
+BENCHMARK(BM_CountKCliques)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_NodeScores(benchmark::State& state) {
+  dkc::Graph g = MakeWs(2000, 16);
+  dkc::Dag dag(g, dkc::DegeneracyOrdering(g));
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto scores = dkc::ComputeNodeScores(dag, k);
+    benchmark::DoNotOptimize(scores.per_node.data());
+  }
+}
+BENCHMARK(BM_NodeScores)->Arg(3)->Arg(5);
+
+void BM_LightweightSolve(benchmark::State& state) {
+  dkc::Graph g = MakeWs(2000, 16);
+  dkc::LightweightOptions options;
+  options.k = static_cast<int>(state.range(0));
+  options.enable_score_pruning = state.range(1) != 0;
+  for (auto _ : state) {
+    auto result = dkc::SolveLightweight(g, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_LightweightSolve)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({6, 0})
+    ->Args({6, 1});  // pruning off/on: the L vs LP ablation at kernel level
+
+void BM_DynamicUpdate(benchmark::State& state) {
+  dkc::Graph g = MakeWs(2000, 12);
+  dkc::Rng rng(0xD11);
+  auto workload = dkc::MakeMixedWorkload(g, 4096, 4096, rng);
+  dkc::DynamicOptions options;
+  options.k = static_cast<int>(state.range(0));
+  auto solver = dkc::DynamicSolver::Build(workload.prepared, options);
+  if (!solver.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& op = workload.ops[i % workload.ops.size()];
+    // Alternate the op with its inverse so state stays reusable.
+    dkc::Status status;
+    if (solver->graph().HasEdge(op.edge.first, op.edge.second)) {
+      status = solver->DeleteEdge(op.edge.first, op.edge.second);
+    } else {
+      status = solver->InsertEdge(op.edge.first, op.edge.second);
+    }
+    benchmark::DoNotOptimize(status.ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_DynamicUpdate)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

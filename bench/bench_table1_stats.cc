@@ -1,0 +1,46 @@
+// Table I: dataset statistics — n, m, and the number of k-cliques for
+// k = 3..6 on every dataset of the suite. Counting uses the kClist kernel
+// (no clique is stored), exactly the pass LP's node scores come from.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "clique/kclique.h"
+#include "datasets.h"
+#include "graph/dag.h"
+#include "graph/ordering.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  dkc::Flags flags(argc, argv);
+  const auto config = dkc::bench::BenchConfig::FromFlags(flags);
+
+  std::printf("## Table I: dataset statistics (synthetic stand-ins, "
+              "scale=%.2f)\n\n", config.scale);
+  std::vector<std::string> header = {"Name", "Stand-in for", "n", "m"};
+  for (int k = config.kmin; k <= config.kmax; ++k) {
+    header.push_back("k=" + std::to_string(k));
+  }
+  dkc::bench::PrintHeader(header);
+
+  for (const auto& spec : dkc::bench::PaperSuite()) {
+    dkc::Graph g = dkc::bench::Materialize(spec, config.scale);
+    std::vector<std::string> row = {
+        spec.name, spec.paper_name, dkc::bench::FormatCount(g.num_nodes()),
+        dkc::bench::FormatCount(g.num_edges())};
+    dkc::Dag dag(g, dkc::DegeneracyOrdering(g));
+    for (int k = config.kmin; k <= config.kmax; ++k) {
+      bool oot = false;
+      const dkc::Count count = dkc::CountKCliques(
+          dag, k, nullptr, dkc::Deadline::AfterMillis(config.budget_ms),
+          &oot);
+      row.push_back(oot ? "OOT" : dkc::bench::FormatCount(count));
+    }
+    dkc::bench::PrintRow(row);
+  }
+  std::printf("\nPaper reference (Table I): clique counts grow steeply with "
+              "k; the densest\ngraphs (FB/FL/LJ/OR) dominate. The synthetic "
+              "suite reproduces that ordering\nat laptop scale; absolute "
+              "counts are smaller by design.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "datasets.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "gen/generators.h"
+#include "util/rng.h"
+
+namespace dkc {
+namespace bench {
+
+const std::vector<DatasetSpec>& PaperSuite() {
+  using Kind = DatasetSpec::Kind;
+  // Scaled stand-ins: names/ordering follow the paper's Table I. WS where
+  // the original is clique-dense (high clustering), BA where it is
+  // heavy-tailed. Sizes chosen so the full suite runs on one laptop core.
+  static const std::vector<DatasetSpec> kSuite = {
+      {"FTB", "Football", Kind::kWattsStrogatz, 115, 10, 0.10, 0xF7B},
+      {"HST", "Hamsterster", Kind::kBarabasiAlbert, 1900, 7, 0.0, 0x457},
+      {"FB", "Facebook", Kind::kWattsStrogatz, 1000, 24, 0.05, 0xFB},
+      {"FBP", "FBPages", Kind::kBarabasiAlbert, 7000, 8, 0.0, 0xFB9},
+      {"FBW", "FBWosn", Kind::kWattsStrogatz, 4000, 16, 0.20, 0xFB3},
+      {"DS", "Dogster", Kind::kBarabasiAlbert, 13000, 8, 0.0, 0xD5},
+      {"SK", "Skitter", Kind::kWattsStrogatz, 8500, 12, 0.30, 0x5C},
+      {"FL", "Flickr", Kind::kWattsStrogatz, 8500, 20, 0.10, 0xF1},
+      {"LJ", "Livejournal", Kind::kWattsStrogatz, 26000, 16, 0.20, 0x17},
+      {"OR", "Orkut", Kind::kWattsStrogatz, 15000, 24, 0.10, 0x02},
+  };
+  return kSuite;
+}
+
+const std::vector<DatasetSpec>& SmallSuite() {
+  using Kind = DatasetSpec::Kind;
+  // Stand-ins for Table IV's six small graphs (n, m matched to the paper).
+  static const std::vector<DatasetSpec> kSuite = {
+      {"Swallow", "Swallow", Kind::kErdosRenyi, 17, 0, 0.390, 0x511},
+      {"Tortoise", "Tortoise", Kind::kErdosRenyi, 35, 0, 0.175, 0x512},
+      {"Lizard", "Lizard", Kind::kErdosRenyi, 60, 0, 0.180, 0x513},
+      {"Football", "Football", Kind::kWattsStrogatz, 115, 10, 0.10, 0xF7B},
+      {"Voles", "Voles", Kind::kErdosRenyi, 181, 0, 0.032, 0x515},
+      {"Hamsterster", "Hamsterster", Kind::kBarabasiAlbert, 1860, 7, 0.0,
+       0x516},
+  };
+  return kSuite;
+}
+
+Graph Materialize(const DatasetSpec& spec, double scale) {
+  const NodeId n = std::max<NodeId>(
+      8, static_cast<NodeId>(static_cast<double>(spec.n) * scale));
+  Rng rng(spec.seed * 0x9E3779B97F4A7C15ull + 1);
+  StatusOr<Graph> result = Status::Internal("unreachable");
+  switch (spec.kind) {
+    case DatasetSpec::Kind::kWattsStrogatz: {
+      Count degree = std::min<Count>(spec.degree, n > 2 ? n - 2 : 1);
+      if (degree % 2 != 0) --degree;
+      result = WattsStrogatz(n, degree, spec.param, rng);
+      break;
+    }
+    case DatasetSpec::Kind::kBarabasiAlbert:
+      result = BarabasiAlbert(n, std::min<Count>(spec.degree, n - 1), rng);
+      break;
+    case DatasetSpec::Kind::kErdosRenyi:
+      result = ErdosRenyi(n, spec.param, rng);
+      break;
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "dataset %s failed to generate: %s\n",
+                 spec.name.c_str(), result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace bench
+}  // namespace dkc

@@ -1,0 +1,45 @@
+// The benchmark dataset suite.
+//
+// The paper evaluates on 10 public SNAP/KONECT graphs (Table I). Those are
+// not available offline, so each is replaced by a deterministic synthetic
+// stand-in of the same *shape* at laptop scale (see DESIGN.md §3):
+// Watts–Strogatz for the clique-dense, high-clustering graphs and
+// Barabási–Albert for the heavy-tailed ones. `--scale` multiplies node
+// counts; every generator is seeded, so runs are reproducible.
+
+#ifndef DKC_BENCH_DATASETS_H_
+#define DKC_BENCH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dkc {
+namespace bench {
+
+struct DatasetSpec {
+  std::string name;        // the paper's dataset label (FTB ... OR)
+  std::string paper_name;  // full name in the paper's Table I
+  // Generator recipe.
+  enum class Kind { kWattsStrogatz, kBarabasiAlbert, kErdosRenyi } kind;
+  NodeId n;        // nodes at scale 1
+  Count degree;    // WS degree / BA attach
+  double param;    // WS beta / ER p
+  uint64_t seed;
+};
+
+/// The 10 stand-ins for the paper's Table I datasets, smallest first.
+const std::vector<DatasetSpec>& PaperSuite();
+
+/// The 6 small graphs of the paper's Table IV (exact comparison).
+const std::vector<DatasetSpec>& SmallSuite();
+
+/// Instantiate a dataset at the given scale (node count multiplied,
+/// degree/density kept).
+Graph Materialize(const DatasetSpec& spec, double scale = 1.0);
+
+}  // namespace bench
+}  // namespace dkc
+
+#endif  // DKC_BENCH_DATASETS_H_

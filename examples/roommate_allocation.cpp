@@ -1,0 +1,81 @@
+// Roommate allocation (paper's second application [7]): rooms hold k beds;
+// an assignment works best when all k roommates mutually accept each other,
+// i.e. the room is a k-clique in the mutual-preference graph. Maximizing
+// fully-compatible rooms = maximum set of disjoint k-cliques.
+//
+// We synthesize a preference graph with "dorm cohort" structure (students
+// accept most of their own cohort, few outsiders), solve for k-bed rooms,
+// and report occupancy quality per method to show the LP/HG trade-off.
+//
+// Usage: roommate_allocation [--students=3000] [--beds=4] [--seed=11]
+
+#include <cstdio>
+
+#include "core/solver.h"
+#include "core/verify.h"
+#include "graph/graph_builder.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+// Cohorts of ~40 students; within-cohort acceptance 45%, across 0.2%.
+dkc::Graph PreferenceGraph(dkc::NodeId students, dkc::Rng& rng) {
+  constexpr dkc::NodeId kCohort = 40;
+  dkc::GraphBuilder builder(students);
+  builder.EnsureNode(students - 1);
+  for (dkc::NodeId u = 0; u < students; ++u) {
+    for (dkc::NodeId v = u + 1; v < students; ++v) {
+      const bool same_cohort = (u / kCohort) == (v / kCohort);
+      const double p = same_cohort ? 0.45 : 0.002;
+      if (rng.NextBool(p)) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dkc::Flags flags(argc, argv);
+  const dkc::NodeId students =
+      static_cast<dkc::NodeId>(flags.GetInt("students", 3000));
+  const int beds = static_cast<int>(flags.GetInt("beds", 4));
+  dkc::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 11)));
+
+  dkc::Graph prefs = PreferenceGraph(students, rng);
+  std::printf("preference graph: %u students, %llu mutual acceptances\n",
+              prefs.num_nodes(),
+              static_cast<unsigned long long>(prefs.num_edges()));
+  std::printf("rooms have %d beds; a fully-compatible room is a %d-clique\n\n",
+              beds, beds);
+
+  std::printf("%-8s %12s %16s %12s\n", "method", "rooms", "students housed",
+              "time (ms)");
+  for (dkc::Method m : {dkc::Method::kHG, dkc::Method::kLP}) {
+    dkc::SolverOptions options;
+    options.k = beds;
+    options.method = m;
+    dkc::Timer timer;
+    auto result = dkc::Solve(prefs, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", dkc::MethodName(m),
+                   result.status().ToString().c_str());
+      continue;
+    }
+    if (!dkc::VerifySolution(prefs, result->set).ok()) {
+      std::fprintf(stderr, "%s produced an invalid allocation!\n",
+                   dkc::MethodName(m));
+      return 1;
+    }
+    std::printf("%-8s %12u %15.1f%% %12.1f\n", dkc::MethodName(m),
+                result->size(),
+                100.0 * result->size() * beds / prefs.num_nodes(),
+                timer.ElapsedMillis());
+  }
+  std::printf("\nstudents not in a fully-compatible room are assigned by a "
+              "second pass\n(e.g. maximum matching of pairs), outside this "
+              "example's scope.\n");
+  return 0;
+}

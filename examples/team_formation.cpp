@@ -1,0 +1,75 @@
+// MOBA teaming event (the paper's Fig. 1 motivation): the game must
+// auto-assemble teams of k players from the friendship network, and teams
+// that are k-cliques (everyone friends with everyone) convert best. We
+// simulate a player friendship network with community structure and run
+// the paper's deployment strategy end to end via the ResidualCover API:
+// round 1 packs disjoint k-cliques; later rounds re-solve on the residual
+// graph with shrinking k; a final maximum-matching round pairs leftovers.
+//
+// Usage: team_formation [--players=20000] [--team-size=5] [--seed=7]
+
+#include <cstdio>
+#include <vector>
+
+#include "core/residual_cover.h"
+#include "core/solver.h"
+#include "gen/generators.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  dkc::Flags flags(argc, argv);
+  const dkc::NodeId players =
+      static_cast<dkc::NodeId>(flags.GetInt("players", 20000));
+  const int team_size = static_cast<int>(flags.GetInt("team-size", 5));
+  dkc::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+
+  // Friendship network: small-world communities (high clustering, like the
+  // real in-game social graph the paper describes).
+  auto graph_or = dkc::WattsStrogatz(players, 16, 0.08, rng);
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+    return 1;
+  }
+  dkc::Graph friends = std::move(graph_or).value();
+  std::printf("friendship network: %u players, %llu friendships\n",
+              friends.num_nodes(),
+              static_cast<unsigned long long>(friends.num_edges()));
+  std::printf("full teams hold %d players; a fully-friend team is a "
+              "%d-clique (Fig. 1(b): the 100%%-conversion structure)\n\n",
+              team_size, team_size);
+
+  dkc::Timer timer;
+  dkc::ResidualCoverOptions options;
+  options.k = team_size;
+  options.min_k = 3;
+  options.pair_round = true;  // leftovers get duo queues
+  options.method = dkc::Method::kLP;
+  auto cover = dkc::ResidualCover(friends, options);
+  if (!cover.ok()) {
+    std::fprintf(stderr, "%s\n", cover.status().ToString().c_str());
+    return 1;
+  }
+  const double total_ms = timer.ElapsedMillis();
+
+  for (int k = team_size; k >= 2; --k) {
+    dkc::Count groups = 0;
+    for (const auto& group : cover->groups) groups += (group.k == k);
+    if (k == team_size) {
+      std::printf("round 1 (full %d-clique teams): %llu teams\n", k,
+                  static_cast<unsigned long long>(groups));
+    } else if (k > 2) {
+      std::printf("residual round (teams of %d): %llu teams\n", k,
+                  static_cast<unsigned long long>(groups));
+    } else {
+      std::printf("duo round (maximum matching): %llu pairs\n",
+                  static_cast<unsigned long long>(groups));
+    }
+  }
+  std::printf("\n%llu of %u players grouped (%.1f%%) in %.1f ms; "
+              "the remainder get random fill-ins\n",
+              static_cast<unsigned long long>(cover->covered_nodes),
+              friends.num_nodes(),
+              100.0 * cover->coverage(friends.num_nodes()), total_ms);
+  return 0;
+}

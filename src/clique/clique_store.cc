@@ -1,0 +1,3 @@
+// CliqueStore is header-only; this translation unit exists so the target has
+// a stable archive member and a place for future out-of-line helpers.
+#include "clique/clique_store.h"

@@ -1,0 +1,133 @@
+// k-clique listing and counting kernels in the kClist style of Danisch,
+// Balalau, Sozio (WWW'18) [13]: orient the graph along a total ordering,
+// then every k-clique is {u} ∪ ((k-1)-clique inside N+(u)) for a unique
+// root u, found by repeated sorted-set intersection of out-neighborhoods.
+//
+// The counting entry points never materialize cliques — that is the
+// observation the paper's lightweight algorithm (Algorithm 3, line 2) is
+// built on: node scores s_n(u) (Definition 5) come out of a counting pass
+// with O(m + n) residual memory.
+
+#ifndef DKC_CLIQUE_KCLIQUE_H_
+#define DKC_CLIQUE_KCLIQUE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/dag.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace dkc {
+
+/// out = a ∩ b for sorted unique spans. `out` is overwritten.
+void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
+                     std::vector<NodeId>* out);
+
+/// Reusable k-clique enumeration state for one DAG. Not thread-safe; create
+/// one enumerator per thread.
+class KCliqueEnumerator {
+ public:
+  /// `k >= 2`. The enumerator borrows `dag`, which must outlive it.
+  KCliqueEnumerator(const Dag& dag, int k);
+
+  /// Invoke `cb(nodes)` once per k-clique, where `nodes` is a span of k node
+  /// ids in descending DAG-rank order (nodes[0] is the root). `cb` returns
+  /// bool; returning false stops the enumeration. ForEach returns false iff
+  /// stopped early.
+  template <typename F>
+  bool ForEach(F&& cb) {
+    for (NodeId u = 0; u < dag_.num_nodes(); ++u) {
+      if (!ForEachRooted(u, cb)) return false;
+    }
+    return true;
+  }
+
+  /// Enumeration restricted to cliques rooted at `u` (u is the
+  /// highest-ranked node of every clique reported).
+  template <typename F>
+  bool ForEachRooted(NodeId u, F&& cb) {
+    if (k_ == 1) {
+      prefix_.assign(1, u);
+      return cb(std::span<const NodeId>(prefix_));
+    }
+    auto out = dag_.OutNeighbors(u);
+    if (out.size() + 1 < static_cast<size_t>(k_)) return true;
+    prefix_.assign(1, u);
+    return Recurse(k_ - 1, out, 0, cb);
+  }
+
+  /// Number of k-cliques rooted at `u`.
+  Count CountRooted(NodeId u);
+
+  /// Per-node k-clique participation counts (node scores, Definition 5),
+  /// accumulated into `counts` (must have num_nodes entries) for cliques
+  /// rooted at `u`. Returns the number of cliques rooted at `u`.
+  Count ScoreRooted(NodeId u, std::vector<Count>* counts);
+
+ private:
+  template <typename F>
+  bool Recurse(int remaining, std::span<const NodeId> cand, int depth,
+               F&& cb) {
+    if (remaining == 1) {
+      for (NodeId v : cand) {
+        prefix_.push_back(v);
+        const bool keep_going = cb(std::span<const NodeId>(prefix_));
+        prefix_.pop_back();
+        if (!keep_going) return false;
+      }
+      return true;
+    }
+    for (NodeId v : cand) {
+      if (dag_.OutDegree(v) + 1 < static_cast<Count>(remaining)) continue;
+      auto& next = scratch_[depth];
+      IntersectSorted(cand, dag_.OutNeighbors(v), &next);
+      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
+      prefix_.push_back(v);
+      const bool keep_going = Recurse(remaining - 1, next, depth + 1, cb);
+      prefix_.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  Count CountRec(int remaining, std::span<const NodeId> cand, int depth);
+  Count ScoreRec(int remaining, std::span<const NodeId> cand, int depth,
+                 std::vector<Count>* counts);
+
+  const Dag& dag_;
+  int k_;
+  std::vector<NodeId> prefix_;
+  std::vector<std::vector<NodeId>> scratch_;  // one intersection buffer/level
+};
+
+/// Total number of k-cliques in the DAG'ed graph. Optionally parallel over
+/// root nodes and/or bounded by a deadline (`*oot` set true on expiry).
+Count CountKCliques(const Dag& dag, int k, ThreadPool* pool = nullptr,
+                    const Deadline& deadline = Deadline::Unlimited(),
+                    bool* oot = nullptr);
+
+struct NodeScores {
+  std::vector<Count> per_node;  // s_n(u) for every u
+  Count total_cliques = 0;      // sum(per_node) / k
+};
+
+/// Node scores s_n(u) for all nodes (Definition 5) without storing cliques.
+NodeScores ComputeNodeScores(const Dag& dag, int k, ThreadPool* pool = nullptr,
+                             const Deadline& deadline = Deadline::Unlimited(),
+                             bool* oot = nullptr);
+
+/// Enumerate the k-cliques of the subgraph induced on `subset` in the
+/// *current* state of a dynamic graph. `subset` must be sorted and unique.
+/// Used by the dynamic index (Algorithm 5), where B = C ∪ free neighbors is
+/// tiny. `cb` returns false to stop early.
+void ForEachKCliqueInSubset(
+    const DynamicGraph& g, std::span<const NodeId> subset, int k,
+    const std::function<bool(std::span<const NodeId>)>& cb);
+
+}  // namespace dkc
+
+#endif  // DKC_CLIQUE_KCLIQUE_H_

@@ -1,0 +1,123 @@
+#include "core/basic_framework.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "clique/kclique.h"
+#include "graph/ordering.h"
+
+namespace dkc {
+namespace {
+
+// FindOne (Algorithm 1, lines 14-24): depth-first search for the first
+// l-clique inside the valid part of the candidate set, using DAG
+// out-adjacency so no clique is visited twice across roots.
+class FirstCliqueFinder {
+ public:
+  FirstCliqueFinder(const Dag& dag, const std::vector<uint8_t>& valid, int k)
+      : dag_(dag), valid_(valid), k_(k) {
+    scratch_.resize(k >= 3 ? k - 2 : 0);
+    for (auto& buf : scratch_) buf.reserve(dag.MaxOutDegree());
+    seed_.reserve(dag.MaxOutDegree());
+    found_.reserve(static_cast<size_t>(k));
+  }
+
+  /// On success fills `clique` with u plus a (k-1)-clique from valid N+(u).
+  bool FindRooted(NodeId u, std::vector<NodeId>* clique) {
+    seed_.clear();
+    for (NodeId v : dag_.OutNeighbors(u)) {
+      if (valid_[v]) seed_.push_back(v);
+    }
+    if (seed_.size() + 1 < static_cast<size_t>(k_)) return false;
+    found_.assign(1, u);
+    if (!Recurse(k_ - 1, seed_, 0)) return false;
+    *clique = found_;
+    return true;
+  }
+
+ private:
+  // Returns true once a clique is completed; `found_` then holds it.
+  bool Recurse(int remaining, std::span<const NodeId> cand, int depth) {
+    if (remaining == 1) {
+      // Any candidate closes the clique; take the first (paper line 16:
+      // "find an edge ... and form a k-clique" — first hit wins).
+      found_.push_back(cand.front());
+      return true;
+    }
+    for (NodeId v : cand) {
+      if (dag_.OutDegree(v) + 1 < static_cast<Count>(remaining)) continue;
+      auto& next = scratch_[depth];
+      next.clear();
+      for (NodeId w : dag_.OutNeighbors(v)) {
+        if (!valid_[w]) continue;
+        // `cand` is sorted and valid-filtered; intersect on the fly.
+        if (std::binary_search(cand.begin(), cand.end(), w)) {
+          next.push_back(w);
+        }
+      }
+      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
+      found_.push_back(v);
+      if (Recurse(remaining - 1, next, depth + 1)) return true;
+      found_.pop_back();
+    }
+    return false;
+  }
+
+  const Dag& dag_;
+  const std::vector<uint8_t>& valid_;
+  int k_;
+  std::vector<std::vector<NodeId>> scratch_;
+  std::vector<NodeId> seed_;
+  std::vector<NodeId> found_;
+};
+
+Ordering MakeOrdering(const Graph& g, NodeOrderKind kind) {
+  switch (kind) {
+    case NodeOrderKind::kIdentity: return IdentityOrdering(g.num_nodes());
+    case NodeOrderKind::kDegree: return DegreeOrdering(g);
+    case NodeOrderKind::kDegeneracy: return DegeneracyOrdering(g);
+  }
+  return DegeneracyOrdering(g);
+}
+
+}  // namespace
+
+StatusOr<SolveResult> SolveBasic(const Graph& g, const BasicOptions& options) {
+  if (options.k < 3) {
+    return Status::InvalidArgument("k must be >= 3 (use maximum matching for k=2)");
+  }
+  const Deadline deadline =
+      options.budget.time_ms > 0 ? Deadline::AfterMillis(options.budget.time_ms)
+                                 : Deadline::Unlimited();
+  Timer timer;
+  SolveResult result(options.k);
+
+  Dag dag(g, MakeOrdering(g, options.order));
+  std::vector<uint8_t> valid(g.num_nodes(), 1);
+  result.stats.init_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  FirstCliqueFinder finder(dag, valid, options.k);
+  std::vector<NodeId> clique;
+  const auto& order = dag.ordering().nodes;
+  for (NodeId i = 0; i < order.size(); ++i) {
+    const NodeId u = order[i];
+    if (!valid[u]) continue;
+    if ((i & 0x3FF) == 0 && deadline.Expired()) {
+      return Status::TimeBudgetExceeded("basic framework");
+    }
+    if (dag.OutDegree(u) + 1 < static_cast<Count>(options.k)) continue;
+    if (finder.FindRooted(u, &clique)) {
+      for (NodeId v : clique) valid[v] = 0;
+      result.set.Add(clique);
+    }
+  }
+
+  result.stats.compute_ms = timer.ElapsedMillis();
+  result.stats.structure_bytes = g.MemoryBytes() + dag.MemoryBytes() +
+                                 static_cast<int64_t>(valid.size()) +
+                                 result.set.MemoryBytes();
+  return result;
+}
+
+}  // namespace dkc

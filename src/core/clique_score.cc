@@ -1,0 +1,18 @@
+#include "core/clique_score.h"
+
+#include <cassert>
+
+namespace dkc {
+
+CliqueDegreeBounds TheoremTwoBounds(Count clique_score, int k) {
+  assert(k >= 2);
+  CliqueDegreeBounds bounds;
+  // A clique's own k membership contributions are part of s_c, hence the -k.
+  const Count excess =
+      clique_score >= static_cast<Count>(k) ? clique_score - k : 0;
+  bounds.upper = excess;
+  bounds.lower = static_cast<double>(excess) / (k - 1);
+  return bounds;
+}
+
+}  // namespace dkc

@@ -1,0 +1,37 @@
+// Node scores, clique scores and the Theorem-2 clique-degree bounds.
+//
+// Definition 5: s_n(u)  = number of k-cliques containing u.
+// Definition 6: s_c(C)  = sum of s_n(u) over u in C.
+// Theorem 2:   (s_c(C) - k) / (k - 1)  <=  deg_Gc(C)  <=  s_c(C) - k,
+// which is why ordering cliques by s_c approximates the min-degree MIS
+// heuristic on the clique graph without ever building it.
+
+#ifndef DKC_CORE_CLIQUE_SCORE_H_
+#define DKC_CORE_CLIQUE_SCORE_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dkc {
+
+/// s_c(C) for clique `nodes` given precomputed node scores.
+inline Count CliqueScoreOf(std::span<const NodeId> nodes,
+                           const std::vector<Count>& node_scores) {
+  Count score = 0;
+  for (NodeId u : nodes) score += node_scores[u];
+  return score;
+}
+
+/// Theorem 2 interval for deg_Gc(C).
+struct CliqueDegreeBounds {
+  double lower = 0.0;  // (s_c - k) / (k - 1)
+  Count upper = 0;     // s_c - k
+};
+
+CliqueDegreeBounds TheoremTwoBounds(Count clique_score, int k);
+
+}  // namespace dkc
+
+#endif  // DKC_CORE_CLIQUE_SCORE_H_

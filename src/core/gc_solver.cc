@@ -1,0 +1,104 @@
+#include "core/gc_solver.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "clique/kclique.h"
+#include "core/clique_score.h"
+#include "graph/dag.h"
+#include "graph/ordering.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace dkc {
+
+StatusOr<SolveResult> SolveGc(const Graph& g, const GcOptions& options) {
+  if (options.k < 3) {
+    return Status::InvalidArgument("k must be >= 3");
+  }
+  const Deadline deadline =
+      options.budget.time_ms > 0 ? Deadline::AfterMillis(options.budget.time_ms)
+                                 : Deadline::Unlimited();
+  MemoryBudget memory(options.budget.memory_bytes);
+  Timer timer;
+  SolveResult result(options.k);
+
+  // Line 2: store all k-cliques and compute node scores. One enumeration
+  // pass fills both; the store is the memory hazard the budget guards.
+  Dag dag(g, DegeneracyOrdering(g));
+  CliqueStore all(options.k);
+  std::vector<Count> node_scores(g.num_nodes(), 0);
+  {
+    KCliqueEnumerator enumerator(dag, options.k);
+    Count since_check = 0;
+    bool budget_blown = false;
+    bool oot = false;
+    enumerator.ForEach([&](std::span<const NodeId> nodes) {
+      all.Add(nodes);
+      for (NodeId u : nodes) ++node_scores[u];
+      if ((++since_check & 0xFFF) == 0) {
+        if (!memory.Charge(0x1000 * static_cast<int64_t>(options.k) *
+                           static_cast<int64_t>(sizeof(NodeId)))) {
+          budget_blown = true;
+          return false;
+        }
+        if (deadline.Expired()) {
+          oot = true;
+          return false;
+        }
+      }
+      return true;
+    });
+    if (budget_blown) {
+      return Status::MemoryBudgetExceeded(
+          "GC clique store after " + std::to_string(all.size()) + " cliques");
+    }
+    if (oot) return Status::TimeBudgetExceeded("GC clique enumeration");
+  }
+  result.stats.cliques_listed = all.size();
+
+  // Clique scores + ascending (score, id) order: the deterministic "fixed
+  // total ordering between cliques" of Theorem 4.
+  std::vector<Count> clique_score(all.size());
+  for (CliqueId c = 0; c < all.size(); ++c) {
+    clique_score[c] = CliqueScoreOf(all.Get(c), node_scores);
+  }
+  std::vector<CliqueId> order(all.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](CliqueId a, CliqueId b) {
+    if (clique_score[a] != clique_score[b]) {
+      return clique_score[a] < clique_score[b];
+    }
+    return a < b;
+  });
+  result.stats.init_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  // Lines 3-5: greedy accept in score order.
+  std::vector<uint8_t> used(g.num_nodes(), 0);
+  for (CliqueId c : order) {
+    auto nodes = all.Get(c);
+    bool disjoint = true;
+    for (NodeId u : nodes) {
+      if (used[u]) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    for (NodeId u : nodes) used[u] = 1;
+    result.set.Add(nodes);
+  }
+
+  result.stats.compute_ms = timer.ElapsedMillis();
+  result.stats.structure_bytes =
+      g.MemoryBytes() + dag.MemoryBytes() + all.MemoryBytes() +
+      static_cast<int64_t>(node_scores.capacity() * sizeof(Count)) +
+      static_cast<int64_t>(clique_score.capacity() * sizeof(Count)) +
+      static_cast<int64_t>(order.capacity() * sizeof(CliqueId)) +
+      result.set.MemoryBytes();
+  return result;
+}
+
+}  // namespace dkc

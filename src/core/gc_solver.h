@@ -1,0 +1,29 @@
+// Algorithm 2 — clique-score ordering over materialized cliques ("GC").
+//
+// Lists and *stores* every k-clique, computes clique scores (Definition 6),
+// then greedily accepts cliques in ascending score order. Near-optimal
+// output (it emulates min-degree greedy MIS on the clique graph, via the
+// Theorem-2 degree bounds) but pays O(#cliques) memory — this is the method
+// that goes OOM on the large datasets in Tables II/III.
+
+#ifndef DKC_CORE_GC_SOLVER_H_
+#define DKC_CORE_GC_SOLVER_H_
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dkc {
+
+struct GcOptions {
+  int k = 3;
+  Budget budget;
+};
+
+/// Runs Algorithm 2 on `g`. Returns MemoryBudgetExceeded (OOM) if storing
+/// the cliques exceeds the budget, TimeBudgetExceeded (OOT) on deadline.
+StatusOr<SolveResult> SolveGc(const Graph& g, const GcOptions& options);
+
+}  // namespace dkc
+
+#endif  // DKC_CORE_GC_SOLVER_H_

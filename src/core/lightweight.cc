@@ -1,0 +1,248 @@
+#include "core/lightweight.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "clique/kclique.h"
+#include "core/clique_score.h"
+#include "graph/dag.h"
+#include "graph/ordering.h"
+#include "util/timer.h"
+
+namespace dkc {
+namespace {
+
+// FindMin (Algorithm 3, lines 16-29): locally minimum clique-score k-clique
+// rooted at u, searched inside the valid part of N+(u). The score-driven
+// pruning cuts a branch as soon as the running sum plus the next node's
+// score exceeds the best complete clique found (scores are positive, so the
+// running sum lower-bounds every completion of the branch). Pruning never
+// changes the result: only strictly-worse completions are skipped, and ties
+// are resolved "first found in DFS order" both with and without it.
+class MinCliqueFinder {
+ public:
+  MinCliqueFinder(const Dag& dag, const std::vector<uint8_t>& valid,
+                  const std::vector<Count>& node_scores, int k, bool prune)
+      : dag_(dag),
+        valid_(valid),
+        scores_(node_scores),
+        k_(k),
+        prune_(prune) {
+    scratch_.resize(k >= 3 ? k - 2 : 0);
+    for (auto& buf : scratch_) buf.reserve(dag.MaxOutDegree());
+    seed_.reserve(dag.MaxOutDegree());
+    prefix_.reserve(static_cast<size_t>(k));
+    best_nodes_.reserve(static_cast<size_t>(k));
+  }
+
+  uint64_t branches_visited() const { return branches_visited_; }
+
+  /// Returns true iff some k-clique rooted at `u` exists among valid nodes;
+  /// fills the minimum-score one (root first) and its clique score.
+  bool FindRooted(NodeId u, std::vector<NodeId>* clique, Count* clique_score) {
+    seed_.clear();
+    for (NodeId v : dag_.OutNeighbors(u)) {
+      if (valid_[v]) seed_.push_back(v);
+    }
+    if (seed_.size() + 1 < static_cast<size_t>(k_)) return false;
+    prefix_.assign(1, u);
+    have_best_ = false;
+    best_score_ = 0;
+    Recurse(k_ - 1, seed_, 0, scores_[u]);
+    if (!have_best_) return false;
+    *clique = best_nodes_;
+    *clique_score = best_score_;
+    return true;
+  }
+
+ private:
+  void Recurse(int remaining, std::span<const NodeId> cand, int depth,
+               Count score_so_far) {
+    ++branches_visited_;
+    if (remaining == 1) {
+      for (NodeId v : cand) {
+        const Count total = score_so_far + scores_[v];
+        if (!have_best_ || total < best_score_) {
+          best_score_ = total;
+          best_nodes_ = prefix_;
+          best_nodes_.push_back(v);
+          have_best_ = true;
+        }
+      }
+      return;
+    }
+    for (NodeId v : cand) {
+      if (dag_.OutDegree(v) + 1 < static_cast<Count>(remaining)) continue;
+      if (prune_ && have_best_ && score_so_far + scores_[v] > best_score_) {
+        continue;  // lines 19-20 / 27-28
+      }
+      auto& next = scratch_[depth];
+      next.clear();
+      for (NodeId w : dag_.OutNeighbors(v)) {
+        if (valid_[w] && std::binary_search(cand.begin(), cand.end(), w)) {
+          next.push_back(w);
+        }
+      }
+      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
+      prefix_.push_back(v);
+      Recurse(remaining - 1, next, depth + 1, score_so_far + scores_[v]);
+      prefix_.pop_back();
+    }
+  }
+
+  const Dag& dag_;
+  const std::vector<uint8_t>& valid_;
+  const std::vector<Count>& scores_;
+  int k_;
+  bool prune_;
+  std::vector<std::vector<NodeId>> scratch_;
+  std::vector<NodeId> seed_;
+  std::vector<NodeId> prefix_;
+  std::vector<NodeId> best_nodes_;
+  Count best_score_ = 0;
+  bool have_best_ = false;
+  uint64_t branches_visited_ = 0;
+};
+
+struct HeapEntry {
+  Count score;
+  NodeId root_rank;  // rank of nodes[0]; deterministic tie-break
+  std::vector<NodeId> nodes;
+};
+
+struct HeapCompare {
+  // std::priority_queue is a max-heap; invert for min-by-(score, rank).
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.root_rank > b.root_rank;
+  }
+};
+
+}  // namespace
+
+StatusOr<SolveResult> SolveLightweight(const Graph& g,
+                                       const LightweightOptions& options) {
+  if (options.k < 3) {
+    return Status::InvalidArgument("k must be >= 3");
+  }
+  const Deadline deadline =
+      options.budget.time_ms > 0 ? Deadline::AfterMillis(options.budget.time_ms)
+                                 : Deadline::Unlimited();
+  Timer timer;
+  SolveResult result(options.k);
+
+  // Line 2: node scores from a counting pass (degeneracy orientation — any
+  // total order works for counting; degeneracy keeps it fast).
+  bool oot = false;
+  NodeScores scores;
+  {
+    Dag counting_dag(g, DegeneracyOrdering(g));
+    scores = ComputeNodeScores(counting_dag, options.k, options.pool, deadline,
+                               &oot);
+  }
+  if (oot) return Status::TimeBudgetExceeded("lightweight scoring pass");
+  result.stats.cliques_listed = scores.total_cliques;
+
+  // Lines 3-4: score-ascending total order and its DAG.
+  Dag dag(g, OrderByKeyAscending(scores.per_node));
+  std::vector<uint8_t> valid(g.num_nodes(), 1);
+
+  // Lines 5-6, HeapInit: one local-minimum clique per root, in parallel.
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap;
+  {
+    std::vector<HeapEntry> initial;
+    std::mutex merge_mu;
+    const NodeId n = g.num_nodes();
+    auto scan_range = [&](NodeId begin, NodeId end,
+                          std::vector<HeapEntry>* out) {
+      MinCliqueFinder finder(dag, valid, scores.per_node, options.k,
+                             options.enable_score_pruning);
+      std::vector<NodeId> clique;
+      Count clique_score = 0;
+      for (NodeId u = begin; u < end; ++u) {
+        if (dag.OutDegree(u) + 1 < static_cast<Count>(options.k)) continue;
+        if (finder.FindRooted(u, &clique, &clique_score)) {
+          out->push_back(HeapEntry{clique_score, dag.ordering().rank[u],
+                                   clique});
+        }
+      }
+    };
+    if (options.pool != nullptr && options.pool->num_threads() > 1 &&
+        n >= 1024) {
+      std::atomic<NodeId> cursor{0};
+      const size_t workers = options.pool->num_threads();
+      for (size_t w = 0; w < workers; ++w) {
+        options.pool->Submit([&] {
+          std::vector<HeapEntry> local;
+          constexpr NodeId kChunk = 512;
+          for (;;) {
+            const NodeId begin = cursor.fetch_add(kChunk);
+            if (begin >= n) break;
+            scan_range(begin, std::min<NodeId>(n, begin + kChunk), &local);
+          }
+          std::lock_guard<std::mutex> lock(merge_mu);
+          for (auto& e : local) initial.push_back(std::move(e));
+        });
+      }
+      options.pool->Wait();
+    } else {
+      scan_range(0, n, &initial);
+    }
+    for (auto& e : initial) heap.push(std::move(e));
+  }
+  result.stats.init_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  // Line 7, Calculation: pop global minima; lazily refresh stale roots.
+  {
+    MinCliqueFinder finder(dag, valid, scores.per_node, options.k,
+                           options.enable_score_pruning);
+    std::vector<NodeId> clique;
+    Count clique_score = 0;
+    uint64_t pops = 0;
+    while (!heap.empty()) {
+      if ((++pops & 0xFF) == 0 && deadline.Expired()) {
+        return Status::TimeBudgetExceeded("lightweight calculation loop");
+      }
+      HeapEntry top = heap.top();
+      heap.pop();
+      bool fresh = true;
+      for (NodeId v : top.nodes) {
+        if (!valid[v]) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) {  // lines 34-35
+        for (NodeId v : top.nodes) valid[v] = 0;
+        result.set.Add(top.nodes);
+        continue;
+      }
+      const NodeId root = top.nodes[0];
+      if (valid[root] &&
+          dag.OutDegree(root) + 1 >= static_cast<Count>(options.k)) {
+        // Lines 37-39: refresh the local minimum for this root.
+        if (finder.FindRooted(root, &clique, &clique_score)) {
+          heap.push(
+              HeapEntry{clique_score, dag.ordering().rank[root], clique});
+        }
+      }
+    }
+  }
+
+  result.stats.compute_ms = timer.ElapsedMillis();
+  result.stats.structure_bytes =
+      g.MemoryBytes() + dag.MemoryBytes() +
+      static_cast<int64_t>(scores.per_node.capacity() * sizeof(Count)) +
+      static_cast<int64_t>(valid.capacity()) +
+      static_cast<int64_t>(g.num_nodes()) *
+          static_cast<int64_t>(sizeof(HeapEntry) +
+                               options.k * sizeof(NodeId)) +
+      result.set.MemoryBytes();
+  return result;
+}
+
+}  // namespace dkc

@@ -1,0 +1,45 @@
+// Algorithm 3 — the lightweight implementation ("L" without score pruning,
+// "LP" with it).
+//
+// Produces the same greedy-by-clique-score selection as Algorithm 2 but
+// without storing any cliques:
+//   1. node scores s_n are computed by a counting pass (no storage);
+//   2. nodes are ordered ascending by score; the graph is oriented into a
+//      DAG along that order;
+//   3. for every root u, FindMin extracts the *locally* minimum-score clique
+//      inside the valid part of N+(u); the local minima sit in a global
+//      min-heap;
+//   4. Calculation pops the global minimum; stale entries (a node was
+//      consumed since push) trigger a lazy FindMin re-run for their root.
+//
+// The score-driven pruning (LP) cuts FindMin branches whose running score
+// sum already reaches the best local clique score found — the optimization
+// the paper credits with up to an order of magnitude (Fig. 6, L vs LP).
+
+#ifndef DKC_CORE_LIGHTWEIGHT_H_
+#define DKC_CORE_LIGHTWEIGHT_H_
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dkc {
+
+struct LightweightOptions {
+  int k = 3;
+  /// false => "L", true => "LP". Results are identical; only FindMin's
+  /// search-tree size differs.
+  bool enable_score_pruning = true;
+  Budget budget;
+  /// Optional pool for the scoring pass and HeapInit (both "in parallel" in
+  /// the paper's pseudocode).
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs Algorithm 3 on `g`.
+StatusOr<SolveResult> SolveLightweight(const Graph& g,
+                                       const LightweightOptions& options);
+
+}  // namespace dkc
+
+#endif  // DKC_CORE_LIGHTWEIGHT_H_

@@ -1,0 +1,74 @@
+#include "core/opt_solver.h"
+
+#include "clique/clique_graph.h"
+#include "clique/kclique.h"
+#include "graph/dag.h"
+#include "graph/ordering.h"
+#include "mis/exact_mis.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace dkc {
+
+StatusOr<SolveResult> SolveOpt(const Graph& g, const OptOptions& options) {
+  if (options.k < 3) {
+    return Status::InvalidArgument("k must be >= 3");
+  }
+  const Deadline deadline =
+      options.budget.time_ms > 0 ? Deadline::AfterMillis(options.budget.time_ms)
+                                 : Deadline::Unlimited();
+  MemoryBudget memory(options.budget.memory_bytes);
+  Timer timer;
+  SolveResult result(options.k);
+
+  // Step 1: all k-cliques, materialized.
+  Dag dag(g, DegeneracyOrdering(g));
+  CliqueStore all(options.k);
+  {
+    KCliqueEnumerator enumerator(dag, options.k);
+    Count since_check = 0;
+    bool budget_blown = false;
+    bool oot = false;
+    enumerator.ForEach([&](std::span<const NodeId> nodes) {
+      all.Add(nodes);
+      if ((++since_check & 0xFFF) == 0) {
+        if (!memory.Charge(0x1000 * static_cast<int64_t>(options.k) *
+                           static_cast<int64_t>(sizeof(NodeId)))) {
+          budget_blown = true;
+          return false;
+        }
+        if (deadline.Expired()) {
+          oot = true;
+          return false;
+        }
+      }
+      return true;
+    });
+    if (budget_blown) return Status::MemoryBudgetExceeded("OPT clique store");
+    if (oot) return Status::TimeBudgetExceeded("OPT clique enumeration");
+  }
+  result.stats.cliques_listed = all.size();
+
+  // Step 2: the clique graph — the structure whose size explodes (Table I).
+  auto clique_graph =
+      CliqueGraph::Build(all, g.num_nodes(), &memory, deadline);
+  if (!clique_graph.ok()) return clique_graph.status();
+  result.stats.init_ms = timer.ElapsedMillis();
+  timer.Restart();
+
+  // Step 3: exact MIS on the clique graph.
+  auto mis = ExactMis(clique_graph->adjacency(), deadline);
+  if (!mis.ok()) return mis.status();
+  for (uint32_t c : mis->vertices) {
+    result.set.Add(all.Get(static_cast<CliqueId>(c)));
+  }
+
+  result.stats.compute_ms = timer.ElapsedMillis();
+  result.stats.structure_bytes = g.MemoryBytes() + dag.MemoryBytes() +
+                                 all.MemoryBytes() +
+                                 clique_graph->MemoryBytes() +
+                                 result.set.MemoryBytes();
+  return result;
+}
+
+}  // namespace dkc

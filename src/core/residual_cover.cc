@@ -1,0 +1,87 @@
+#include "core/residual_cover.h"
+
+#include "graph/graph_builder.h"
+#include "matching/matching.h"
+
+namespace dkc {
+namespace {
+
+// Subgraph induced on the uncovered nodes, with the mapping back.
+Graph InduceFree(const Graph& g, const std::vector<bool>& covered,
+                 std::vector<NodeId>* original_id) {
+  std::vector<NodeId> compact(g.num_nodes(), kInvalidNode);
+  original_id->clear();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!covered[u]) {
+      compact[u] = static_cast<NodeId>(original_id->size());
+      original_id->push_back(u);
+    }
+  }
+  GraphBuilder builder(static_cast<NodeId>(original_id->size()));
+  if (!original_id->empty()) {
+    builder.EnsureNode(static_cast<NodeId>(original_id->size() - 1));
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (covered[u]) continue;
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v && !covered[v]) builder.AddEdge(compact[u], compact[v]);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+StatusOr<ResidualCoverResult> ResidualCover(
+    const Graph& g, const ResidualCoverOptions& options) {
+  if (options.k < options.min_k || options.min_k < 3) {
+    return Status::InvalidArgument(
+        "require k >= min_k >= 3 (pairs are the optional final round)");
+  }
+  ResidualCoverResult result;
+  result.covered.assign(g.num_nodes(), false);
+
+  for (int k = options.k; k >= options.min_k; --k) {
+    std::vector<NodeId> original;
+    Graph residual = InduceFree(g, result.covered, &original);
+    if (residual.num_nodes() < static_cast<NodeId>(k)) continue;
+
+    SolverOptions solver_options;
+    solver_options.k = k;
+    solver_options.method = options.method;
+    solver_options.budget = options.budget_per_round;
+    solver_options.pool = options.pool;
+    auto solved = Solve(residual, solver_options);
+    if (!solved.ok()) return solved.status();
+
+    for (CliqueId c = 0; c < solved->set.size(); ++c) {
+      CoverGroup group;
+      group.k = k;
+      for (NodeId local : solved->set.Get(c)) {
+        const NodeId u = original[local];
+        group.nodes.push_back(u);
+        result.covered[u] = true;
+        ++result.covered_nodes;
+      }
+      result.groups.push_back(std::move(group));
+    }
+  }
+
+  if (options.pair_round) {
+    std::vector<NodeId> original;
+    Graph residual = InduceFree(g, result.covered, &original);
+    MatchingResult matching = MaximumMatching(residual);
+    for (auto [a, b] : matching.Edges()) {
+      CoverGroup group;
+      group.k = 2;
+      group.nodes = {original[a], original[b]};
+      result.covered[original[a]] = true;
+      result.covered[original[b]] = true;
+      result.covered_nodes += 2;
+      result.groups.push_back(std::move(group));
+    }
+  }
+  return result;
+}
+
+}  // namespace dkc

@@ -1,0 +1,52 @@
+// Iterated residual-graph covering — the deployment strategy the paper's
+// introduction describes: "the maximum set of disjoint dense-connected k
+// nodes can be found iteratively in the residual graph which removes the
+// already contained nodes, until all nodes are settled."
+//
+// Round 1 packs disjoint k-cliques; each following round re-solves on the
+// subgraph induced by still-free nodes with the next smaller clique size,
+// down to k = 3 (and optionally a final maximum-matching round for pairs).
+
+#ifndef DKC_CORE_RESIDUAL_COVER_H_
+#define DKC_CORE_RESIDUAL_COVER_H_
+
+#include <vector>
+
+#include "core/solver.h"
+#include "util/status.h"
+
+namespace dkc {
+
+struct ResidualCoverOptions {
+  int k = 5;                        // first-round clique size
+  int min_k = 3;                    // last clique round
+  bool pair_round = false;          // finish with maximum matching (k = 2)
+  Method method = Method::kLP;
+  Budget budget_per_round;
+  ThreadPool* pool = nullptr;
+};
+
+struct CoverGroup {
+  int k = 0;                      // group size (clique size, or 2 for pairs)
+  std::vector<NodeId> nodes;
+};
+
+struct ResidualCoverResult {
+  std::vector<CoverGroup> groups;
+  /// covered[u] == true iff u landed in some group.
+  std::vector<bool> covered;
+  Count covered_nodes = 0;
+
+  double coverage(NodeId n) const {
+    return n == 0 ? 0.0 : static_cast<double>(covered_nodes) / n;
+  }
+};
+
+/// Runs the round structure above. Each group is a real clique (or matched
+/// edge) of `g`; groups are pairwise node-disjoint.
+StatusOr<ResidualCoverResult> ResidualCover(const Graph& g,
+                                            const ResidualCoverOptions& options);
+
+}  // namespace dkc
+
+#endif  // DKC_CORE_RESIDUAL_COVER_H_

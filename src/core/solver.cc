@@ -1,0 +1,70 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/basic_framework.h"
+#include "core/gc_solver.h"
+#include "core/lightweight.h"
+#include "core/opt_solver.h"
+
+namespace dkc {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kHG: return "HG";
+    case Method::kGC: return "GC";
+    case Method::kL: return "L";
+    case Method::kLP: return "LP";
+    case Method::kOPT: return "OPT";
+  }
+  return "?";
+}
+
+StatusOr<Method> ParseMethod(const std::string& name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "HG") return Method::kHG;
+  if (upper == "GC") return Method::kGC;
+  if (upper == "L") return Method::kL;
+  if (upper == "LP") return Method::kLP;
+  if (upper == "OPT") return Method::kOPT;
+  return Status::NotFound("unknown method '" + name +
+                          "' (expected HG, GC, L, LP or OPT)");
+}
+
+StatusOr<SolveResult> Solve(const Graph& g, const SolverOptions& options) {
+  switch (options.method) {
+    case Method::kHG: {
+      BasicOptions basic;
+      basic.k = options.k;
+      basic.budget = options.budget;
+      return SolveBasic(g, basic);
+    }
+    case Method::kGC: {
+      GcOptions gc;
+      gc.k = options.k;
+      gc.budget = options.budget;
+      return SolveGc(g, gc);
+    }
+    case Method::kL:
+    case Method::kLP: {
+      LightweightOptions light;
+      light.k = options.k;
+      light.enable_score_pruning = options.method == Method::kLP;
+      light.budget = options.budget;
+      light.pool = options.pool;
+      return SolveLightweight(g, light);
+    }
+    case Method::kOPT: {
+      OptOptions opt;
+      opt.k = options.k;
+      opt.budget = options.budget;
+      return SolveOpt(g, opt);
+    }
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+}  // namespace dkc

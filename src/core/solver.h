@@ -1,0 +1,41 @@
+// Unified facade over the five methods of the paper's evaluation:
+//   HG  — Algorithm 1, basic framework
+//   GC  — Algorithm 2, clique-score order over stored cliques
+//   L   — Algorithm 3 without score pruning
+//   LP  — Algorithm 3 with score pruning (the paper's recommended method)
+//   OPT — exact clique-graph + exact-MIS baseline
+// This is the entry point examples and benches use; the per-algorithm
+// headers remain available for fine-grained options.
+
+#ifndef DKC_CORE_SOLVER_H_
+#define DKC_CORE_SOLVER_H_
+
+#include <string>
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dkc {
+
+enum class Method { kHG, kGC, kL, kLP, kOPT };
+
+/// "HG", "GC", "L", "LP", "OPT" — the paper's labels.
+const char* MethodName(Method method);
+
+/// Parse a method label (case-insensitive). NotFound on unknown labels.
+StatusOr<Method> ParseMethod(const std::string& name);
+
+struct SolverOptions {
+  int k = 3;
+  Method method = Method::kLP;
+  Budget budget;
+  ThreadPool* pool = nullptr;  // honored by L/LP scoring & heap init
+};
+
+/// Compute a disjoint k-clique set of `g` with the selected method.
+StatusOr<SolveResult> Solve(const Graph& g, const SolverOptions& options);
+
+}  // namespace dkc
+
+#endif  // DKC_CORE_SOLVER_H_

@@ -1,0 +1,85 @@
+#include "core/verify.h"
+
+#include <string>
+#include <vector>
+
+#include "clique/kclique.h"
+#include "graph/dag.h"
+#include "graph/graph_builder.h"
+#include "graph/ordering.h"
+
+namespace dkc {
+
+Status VerifyDisjointCliques(const Graph& g, const CliqueStore& set) {
+  std::vector<uint8_t> used(g.num_nodes(), 0);
+  const int k = set.k();
+  for (CliqueId c = 0; c < set.size(); ++c) {
+    auto nodes = set.Get(c);
+    for (int i = 0; i < k; ++i) {
+      if (nodes[i] >= g.num_nodes()) {
+        return Status::Corruption("clique " + std::to_string(c) +
+                                  " references unknown node");
+      }
+      if (used[nodes[i]]) {
+        return Status::Corruption("node " + std::to_string(nodes[i]) +
+                                  " appears in two cliques (not disjoint)");
+      }
+      for (int j = i + 1; j < k; ++j) {
+        if (nodes[i] == nodes[j]) {
+          return Status::Corruption("clique " + std::to_string(c) +
+                                    " repeats node " +
+                                    std::to_string(nodes[i]));
+        }
+        if (!g.HasEdge(nodes[i], nodes[j])) {
+          return Status::Corruption(
+              "clique " + std::to_string(c) + " misses edge (" +
+              std::to_string(nodes[i]) + "," + std::to_string(nodes[j]) + ")");
+        }
+      }
+    }
+    for (NodeId u : nodes) used[u] = 1;
+  }
+  return Status::OK();
+}
+
+Status VerifyMaximality(const Graph& g, const CliqueStore& set) {
+  // Induce the free subgraph (nodes outside the solution keep their ids
+  // compacted) and look for a single k-clique.
+  std::vector<uint8_t> used(g.num_nodes(), 0);
+  for (CliqueId c = 0; c < set.size(); ++c) {
+    for (NodeId u : set.Get(c)) used[u] = 1;
+  }
+  std::vector<NodeId> compact(g.num_nodes(), kInvalidNode);
+  NodeId free_count = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!used[u]) compact[u] = free_count++;
+  }
+  GraphBuilder builder(free_count);
+  if (free_count > 0) builder.EnsureNode(free_count - 1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (used[u]) continue;
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v && !used[v]) builder.AddEdge(compact[u], compact[v]);
+    }
+  }
+  Graph residual = builder.Build();
+  Dag dag(residual, DegeneracyOrdering(residual));
+  KCliqueEnumerator enumerator(dag, set.k());
+  bool found = false;
+  enumerator.ForEach([&found](std::span<const NodeId>) {
+    found = true;
+    return false;  // stop at the first witness
+  });
+  if (found) {
+    return Status::Corruption(
+        "solution is not maximal: residual graph still has a k-clique");
+  }
+  return Status::OK();
+}
+
+Status VerifySolution(const Graph& g, const CliqueStore& set) {
+  DKC_RETURN_IF_ERROR(VerifyDisjointCliques(g, set));
+  return VerifyMaximality(g, set);
+}
+
+}  // namespace dkc

@@ -1,0 +1,28 @@
+// Independent validation of solver output. Used by every test and by the
+// benchmark harnesses in debug runs: a "better" number from a solver means
+// nothing unless the set is made of real, pairwise-disjoint k-cliques — and,
+// for the approximation guarantee (Theorem 3) to apply, maximal.
+
+#ifndef DKC_CORE_VERIFY_H_
+#define DKC_CORE_VERIFY_H_
+
+#include "clique/clique_store.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dkc {
+
+/// Checks that every member of `set` is a k-clique of `g` and that members
+/// are pairwise node-disjoint. O(|S| k^2 log d).
+Status VerifyDisjointCliques(const Graph& g, const CliqueStore& set);
+
+/// Additionally checks maximality: the subgraph induced on nodes not used
+/// by `set` must contain no k-clique. Cost of one bounded clique search.
+Status VerifyMaximality(const Graph& g, const CliqueStore& set);
+
+/// Both of the above.
+Status VerifySolution(const Graph& g, const CliqueStore& set);
+
+}  // namespace dkc
+
+#endif  // DKC_CORE_VERIFY_H_

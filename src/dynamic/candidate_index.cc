@@ -1,0 +1,299 @@
+#include "dynamic/candidate_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+#include "clique/kclique.h"
+#include "core/clique_score.h"
+
+namespace dkc {
+
+SolutionState::SolutionState(DynamicGraph graph, int k,
+                             std::vector<Count> node_scores)
+    : graph_(std::move(graph)), k_(k), node_scores_(std::move(node_scores)) {
+  node_to_clique_.assign(graph_.num_nodes(), kNoClique);
+  node_cands_.resize(graph_.num_nodes());
+  node_scores_.resize(graph_.num_nodes(), 0);
+}
+
+CliqueStore SolutionState::Snapshot() const {
+  CliqueStore store(k_);
+  for (const auto& clique : cliques_) {
+    if (clique.alive) store.Add(clique.nodes);
+  }
+  return store;
+}
+
+int64_t SolutionState::MemoryBytes() const {
+  int64_t bytes = graph_.MemoryBytes();
+  bytes += static_cast<int64_t>(node_scores_.capacity() * sizeof(Count));
+  bytes += static_cast<int64_t>(node_to_clique_.capacity() * sizeof(uint32_t));
+  for (const auto& c : cliques_) {
+    bytes += static_cast<int64_t>(sizeof(SolClique) +
+                                  c.nodes.capacity() * sizeof(NodeId) +
+                                  c.cands.capacity() * sizeof(CandRef));
+  }
+  for (const auto& c : candidates_) {
+    bytes += static_cast<int64_t>(sizeof(Candidate) +
+                                  c.nodes.capacity() * sizeof(NodeId));
+  }
+  for (const auto& list : node_cands_) {
+    bytes += static_cast<int64_t>(list.capacity() * sizeof(CandRef));
+  }
+  return bytes;
+}
+
+uint32_t SolutionState::AddSolutionClique(std::span<const NodeId> nodes) {
+  uint32_t slot;
+  if (!clique_free_slots_.empty()) {
+    slot = clique_free_slots_.back();
+    clique_free_slots_.pop_back();
+    ++cliques_[slot].gen;  // invalidate every parked SlotRef to this slot
+  } else {
+    slot = static_cast<uint32_t>(cliques_.size());
+    cliques_.emplace_back();
+  }
+  SolClique& clique = cliques_[slot];
+  clique.nodes.assign(nodes.begin(), nodes.end());
+  clique.cands.clear();
+  clique.alive = true;
+  for (NodeId u : nodes) {
+    assert(node_to_clique_[u] == kNoClique && "node must be free");
+    node_to_clique_[u] = slot;
+    // Every candidate through u referenced it as a free node; all are now
+    // invalid (their free/non-free split changed), so they die here. The
+    // per-node list can be cleared outright: all its alive entries die, and
+    // stale ones are garbage anyway.
+    for (CandRef ref : node_cands_[u]) {
+      if (CandValid(ref)) KillCandidate(ref.idx);
+    }
+    node_cands_[u].clear();
+  }
+  ++solution_size_;
+  return slot;
+}
+
+void SolutionState::RemoveSolutionClique(uint32_t slot) {
+  assert(SlotAlive(slot));
+  SolClique& clique = cliques_[slot];
+  for (CandRef ref : clique.cands) {
+    if (CandValid(ref)) KillCandidate(ref.idx);
+  }
+  clique.cands.clear();
+  for (NodeId u : clique.nodes) node_to_clique_[u] = kNoClique;
+  clique.alive = false;
+  clique.nodes.clear();
+  clique_free_slots_.push_back(slot);
+  --solution_size_;
+}
+
+void SolutionState::KillCandidate(uint32_t idx) {
+  Candidate& cand = candidates_[idx];
+  assert(cand.alive);
+  cand.alive = false;
+  cand.nodes.clear();
+  cand_free_slots_.push_back(idx);
+  --alive_candidates_;
+}
+
+uint32_t SolutionState::RegisterCandidate(std::span<const NodeId> nodes,
+                                          uint32_t owner) {
+  uint32_t idx;
+  if (!cand_free_slots_.empty()) {
+    idx = cand_free_slots_.back();
+    cand_free_slots_.pop_back();
+    ++candidates_[idx].gen;
+  } else {
+    idx = static_cast<uint32_t>(candidates_.size());
+    candidates_.emplace_back();
+  }
+  Candidate& cand = candidates_[idx];
+  cand.nodes.assign(nodes.begin(), nodes.end());
+  cand.score = CliqueScoreOf(nodes, node_scores_);
+  cand.owner = owner;
+  cand.alive = true;
+  const CandRef ref{idx, cand.gen};
+  cliques_[owner].cands.push_back(ref);
+  for (NodeId u : nodes) node_cands_[u].push_back(ref);
+  ++alive_candidates_;
+  return idx;
+}
+
+void SolutionState::EnumerateCandidatesFor(
+    uint32_t slot, std::vector<std::vector<NodeId>>* out) const {
+  out->clear();
+  const SolClique& clique = cliques_[slot];
+  // B = C ∪ N_F(C): the clique's nodes plus their free neighbors. Any
+  // candidate of C lives inside B — its free nodes are adjacent to some
+  // node of C because a k-clique is fully connected and it intersects C.
+  std::vector<NodeId> b(clique.nodes.begin(), clique.nodes.end());
+  for (NodeId u : clique.nodes) {
+    for (NodeId v : graph_.Neighbors(u)) {
+      if (node_to_clique_[v] == kNoClique) b.push_back(v);
+    }
+  }
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+
+  ForEachKCliqueInSubset(
+      graph_, b, k_, [&](std::span<const NodeId> nodes) {
+        int in_c = 0;
+        int free_nodes = 0;
+        for (NodeId u : nodes) {
+          if (node_to_clique_[u] == slot) {
+            ++in_c;
+          } else if (node_to_clique_[u] == kNoClique) {
+            ++free_nodes;
+          } else {
+            return true;  // touches another solution clique: not a candidate
+          }
+        }
+        // in_c == k would be C itself; free == k would contradict the
+        // maximality the engine maintains, but guard anyway.
+        if (in_c >= 1 && free_nodes >= 1) {
+          out->emplace_back(nodes.begin(), nodes.end());
+        }
+        return true;
+      });
+}
+
+size_t SolutionState::RebuildCandidatesFor(uint32_t slot) {
+  assert(SlotAlive(slot));
+  SolClique& clique = cliques_[slot];
+  for (CandRef ref : clique.cands) {
+    if (CandValid(ref)) KillCandidate(ref.idx);
+  }
+  clique.cands.clear();
+
+  std::vector<std::vector<NodeId>> found;
+  EnumerateCandidatesFor(slot, &found);
+  for (const auto& nodes : found) RegisterCandidate(nodes, slot);
+  return found.size();
+}
+
+void SolutionState::RebuildAllCandidates(ThreadPool* pool) {
+  std::vector<uint32_t> slots;
+  ForEachSlot([&slots](uint32_t s) { slots.push_back(s); });
+
+  if (pool != nullptr && pool->num_threads() > 1 && slots.size() >= 64) {
+    // Enumeration is read-only w.r.t. the index; registration is serial.
+    std::vector<std::vector<std::vector<NodeId>>> found(slots.size());
+    pool->ParallelFor(slots.size(), [&](size_t i) {
+      EnumerateCandidatesFor(slots[i], &found[i]);
+    });
+    for (size_t i = 0; i < slots.size(); ++i) {
+      for (const auto& nodes : found[i]) RegisterCandidate(nodes, slots[i]);
+    }
+  } else {
+    for (uint32_t s : slots) RebuildCandidatesFor(s);
+  }
+}
+
+size_t SolutionState::KillCandidatesWithEdge(NodeId u, NodeId v) {
+  size_t killed = 0;
+  auto& list = node_cands_[u];
+  size_t write = 0;
+  for (size_t read = 0; read < list.size(); ++read) {
+    const CandRef ref = list[read];
+    if (!CandValid(ref)) continue;  // compact stale entries while here
+    const Candidate& cand = candidates_[ref.idx];
+    if (std::find(cand.nodes.begin(), cand.nodes.end(), v) !=
+        cand.nodes.end()) {
+      KillCandidate(ref.idx);
+      ++killed;
+      continue;
+    }
+    list[write++] = ref;
+  }
+  list.resize(write);
+  return killed;
+}
+
+std::vector<SolutionState::CandidateView> SolutionState::CandidatesOf(
+    uint32_t slot) const {
+  std::vector<CandidateView> out;
+  if (!SlotAlive(slot)) return out;
+  for (CandRef ref : cliques_[slot].cands) {
+    if (!CandValid(ref)) continue;
+    const Candidate& cand = candidates_[ref.idx];
+    out.push_back(CandidateView{cand.nodes, cand.score});
+  }
+  return out;
+}
+
+void SolutionState::EnsureNodeCapacity(NodeId n) {
+  if (n > node_to_clique_.size()) {
+    node_to_clique_.resize(n, kNoClique);
+    node_cands_.resize(n);
+    node_scores_.resize(n, 0);
+  }
+}
+
+bool SolutionState::CheckInvariants(std::string* error) const {
+  auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  // node_to_clique consistency.
+  for (NodeId u = 0; u < node_to_clique_.size(); ++u) {
+    const uint32_t s = node_to_clique_[u];
+    if (s == kNoClique) continue;
+    if (!SlotAlive(s)) return fail("node mapped to dead slot");
+    const auto& nodes = cliques_[s].nodes;
+    if (std::find(nodes.begin(), nodes.end(), u) == nodes.end()) {
+      return fail("node mapped to clique that does not contain it");
+    }
+  }
+  // Solution cliques are cliques, pairwise disjoint via node_to_clique.
+  Count alive_slots = 0;
+  for (uint32_t s = 0; s < cliques_.size(); ++s) {
+    if (!cliques_[s].alive) continue;
+    ++alive_slots;
+    const auto& nodes = cliques_[s].nodes;
+    if (nodes.size() != static_cast<size_t>(k_)) {
+      return fail("solution clique of wrong size");
+    }
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (node_to_clique_[nodes[i]] != s) {
+        return fail("solution clique node not mapped back");
+      }
+      for (size_t j = i + 1; j < nodes.size(); ++j) {
+        if (!graph_.HasEdge(nodes[i], nodes[j])) {
+          return fail("solution clique misses an edge");
+        }
+      }
+    }
+  }
+  if (alive_slots != solution_size_) return fail("solution_size_ drifted");
+  // Candidates: real cliques, >=1 free node, non-free nodes all in owner.
+  Count alive_cands = 0;
+  for (uint32_t i = 0; i < candidates_.size(); ++i) {
+    const Candidate& cand = candidates_[i];
+    if (!cand.alive) continue;
+    ++alive_cands;
+    if (!SlotAlive(cand.owner)) return fail("candidate with dead owner");
+    int free_nodes = 0;
+    for (size_t a = 0; a < cand.nodes.size(); ++a) {
+      const uint32_t s = node_to_clique_[cand.nodes[a]];
+      if (s == kNoClique) {
+        ++free_nodes;
+      } else if (s != cand.owner) {
+        return fail("candidate non-free node outside owner");
+      }
+      for (size_t b = a + 1; b < cand.nodes.size(); ++b) {
+        if (!graph_.HasEdge(cand.nodes[a], cand.nodes[b])) {
+          return fail("candidate is not a clique");
+        }
+      }
+    }
+    if (free_nodes == 0) return fail("candidate without free nodes");
+    if (free_nodes == k_) return fail("candidate with only free nodes");
+  }
+  if (alive_cands != alive_candidates_) {
+    return fail("alive_candidates_ drifted");
+  }
+  return true;
+}
+
+}  // namespace dkc

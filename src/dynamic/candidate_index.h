@@ -1,0 +1,166 @@
+// Shared mutable state of the dynamic engine (Section V): the current
+// solution S, the free/non-free status of every node, and the candidate
+// k-clique index of Algorithm 5.
+//
+// Invariants maintained at every public-call boundary:
+//  * a node is *free* iff it belongs to no clique of S;
+//  * every alive candidate is a real k-clique of the current graph with at
+//    least one free node and at least one non-free node, and all of its
+//    non-free nodes belong to the single solution clique that owns it
+//    (the paper's Section V-A characterization);
+//  * a candidate is indexed under its owner and under each of its nodes
+//    (the per-node index serves edge-deletion and node-consumption kills).
+//
+// Slots for solution cliques and candidates are generation-tagged so stale
+// references parked in queues or per-node lists can never alias a reused
+// slot.
+
+#ifndef DKC_DYNAMIC_CANDIDATE_INDEX_H_
+#define DKC_DYNAMIC_CANDIDATE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clique/clique_store.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "util/thread_pool.h"
+
+namespace dkc {
+
+class SolutionState {
+ public:
+  static constexpr uint32_t kNoClique = UINT32_MAX;
+
+  /// Generation-tagged reference to a solution-clique slot.
+  struct SlotRef {
+    uint32_t slot = 0;
+    uint32_t gen = 0;
+  };
+
+  /// Takes over the graph; `node_scores` are the static Definition-5 scores
+  /// used to order candidates inside swaps (kept fixed between rebuilds, an
+  /// efficiency choice documented in DESIGN.md).
+  SolutionState(DynamicGraph graph, int k, std::vector<Count> node_scores);
+
+  // --- queries -------------------------------------------------------
+  int k() const { return k_; }
+  DynamicGraph& graph() { return graph_; }
+  const DynamicGraph& graph() const { return graph_; }
+  bool IsFree(NodeId u) const { return node_to_clique_[u] == kNoClique; }
+  uint32_t CliqueOf(NodeId u) const { return node_to_clique_[u]; }
+  NodeId solution_size() const { return solution_size_; }
+  Count num_alive_candidates() const { return alive_candidates_; }
+  const std::vector<Count>& node_scores() const { return node_scores_; }
+
+  bool SlotAlive(uint32_t slot) const {
+    return slot < cliques_.size() && cliques_[slot].alive;
+  }
+  bool RefValid(SlotRef ref) const {
+    return SlotAlive(ref.slot) && cliques_[ref.slot].gen == ref.gen;
+  }
+  SlotRef RefOf(uint32_t slot) const {
+    return SlotRef{slot, cliques_[slot].gen};
+  }
+  std::span<const NodeId> SlotNodes(uint32_t slot) const {
+    return {cliques_[slot].nodes.data(), cliques_[slot].nodes.size()};
+  }
+
+  /// Copy of the current S.
+  CliqueStore Snapshot() const;
+
+  /// Approximate bytes held by the index structures (Table VII companion).
+  int64_t MemoryBytes() const;
+
+  // --- solution mutation ---------------------------------------------
+  /// Adds a clique whose nodes are all currently free. Marks them non-free
+  /// and kills every candidate that used them. Returns the slot.
+  uint32_t AddSolutionClique(std::span<const NodeId> nodes);
+
+  /// Removes a clique: its nodes become free, its candidates die.
+  void RemoveSolutionClique(uint32_t slot);
+
+  // --- candidate index -----------------------------------------------
+  /// Algorithm 5 for one clique: drop its current candidates and
+  /// re-enumerate the k-cliques on B = C ∪ N_F(C), registering the valid
+  /// ones. Returns the number of alive candidates afterwards.
+  size_t RebuildCandidatesFor(uint32_t slot);
+
+  /// Algorithm 5 for the whole solution, optionally in parallel.
+  void RebuildAllCandidates(ThreadPool* pool = nullptr);
+
+  /// Kill every candidate whose clique uses edge (u, v) — edge-deletion
+  /// maintenance. Returns how many died.
+  size_t KillCandidatesWithEdge(NodeId u, NodeId v);
+
+  /// Copies the alive candidates of `slot` as (nodes, score) pairs.
+  struct CandidateView {
+    std::vector<NodeId> nodes;
+    Count score = 0;
+  };
+  std::vector<CandidateView> CandidatesOf(uint32_t slot) const;
+
+  /// Iterate alive solution slots.
+  template <typename F>
+  void ForEachSlot(F&& f) const {
+    for (uint32_t s = 0; s < cliques_.size(); ++s) {
+      if (cliques_[s].alive) f(s);
+    }
+  }
+
+  /// Grow per-node structures after the graph gained nodes.
+  void EnsureNodeCapacity(NodeId n);
+
+  /// Exhaustive invariant check (tests only; O(index size * k)).
+  bool CheckInvariants(std::string* error) const;
+
+ private:
+  struct CandRef {
+    uint32_t idx = 0;
+    uint32_t gen = 0;
+  };
+  struct Candidate {
+    std::vector<NodeId> nodes;
+    Count score = 0;
+    uint32_t owner = kNoClique;
+    uint32_t gen = 0;
+    bool alive = false;
+  };
+  struct SolClique {
+    std::vector<NodeId> nodes;
+    std::vector<CandRef> cands;
+    uint32_t gen = 0;
+    bool alive = false;
+  };
+
+  bool CandValid(CandRef ref) const {
+    return ref.idx < candidates_.size() && candidates_[ref.idx].alive &&
+           candidates_[ref.idx].gen == ref.gen;
+  }
+  void KillCandidate(uint32_t idx);
+  uint32_t RegisterCandidate(std::span<const NodeId> nodes, uint32_t owner);
+  // Enumerates valid candidates for `slot` into `out` without mutating the
+  // index (used by the parallel whole-solution rebuild).
+  void EnumerateCandidatesFor(uint32_t slot,
+                              std::vector<std::vector<NodeId>>* out) const;
+
+  DynamicGraph graph_;
+  int k_;
+  std::vector<Count> node_scores_;
+
+  std::vector<SolClique> cliques_;
+  std::vector<uint32_t> clique_free_slots_;
+  std::vector<uint32_t> node_to_clique_;
+  NodeId solution_size_ = 0;
+
+  std::vector<Candidate> candidates_;
+  std::vector<uint32_t> cand_free_slots_;
+  std::vector<std::vector<CandRef>> node_cands_;
+  Count alive_candidates_ = 0;
+};
+
+}  // namespace dkc
+
+#endif  // DKC_DYNAMIC_CANDIDATE_INDEX_H_

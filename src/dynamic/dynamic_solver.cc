@@ -1,0 +1,254 @@
+#include "dynamic/dynamic_solver.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "clique/kclique.h"
+#include "core/verify.h"
+#include "graph/dag.h"
+#include "graph/ordering.h"
+#include "util/timer.h"
+
+namespace dkc {
+namespace {
+
+void Accumulate(SwapStats* into, const SwapStats& delta) {
+  into->pops += delta.pops;
+  into->commits += delta.commits;
+  into->cliques_gained += delta.cliques_gained;
+}
+
+// Shared tail of both Build paths: node scores, state seeding, index build.
+// Returns the state plus the index-build time in ms (Table VII's quantity).
+std::pair<std::unique_ptr<SolutionState>, double> SeedState(
+    const Graph& g, const CliqueStore& solution,
+    const DynamicOptions& options) {
+  Timer timer;
+  std::vector<Count> node_scores;
+  {
+    Dag dag(g, DegeneracyOrdering(g));
+    node_scores = ComputeNodeScores(dag, options.k, options.pool).per_node;
+  }
+  auto state = std::make_unique<SolutionState>(DynamicGraph(g), options.k,
+                                               std::move(node_scores));
+  for (CliqueId c = 0; c < solution.size(); ++c) {
+    state->AddSolutionClique(solution.Get(c));
+  }
+  state->RebuildAllCandidates(options.pool);  // Algorithm 5
+  return {std::move(state), timer.ElapsedMillis()};
+}
+
+}  // namespace
+
+StatusOr<DynamicSolver> DynamicSolver::Build(const Graph& g,
+                                             const DynamicOptions& options) {
+  Timer timer;
+  SolverOptions solver_options;
+  solver_options.k = options.k;
+  solver_options.method = options.initial_method;
+  solver_options.budget = options.initial_budget;
+  solver_options.pool = options.pool;
+  auto initial = Solve(g, solver_options);
+  if (!initial.ok()) return initial.status();
+  DynamicBuildStats stats;
+  stats.solve_ms = timer.ElapsedMillis();
+
+  auto [state, index_ms] = SeedState(g, initial->set, options);
+  stats.index_ms = index_ms;
+  return DynamicSolver(std::move(state), stats);
+}
+
+StatusOr<DynamicSolver> DynamicSolver::BuildFromSolution(
+    const Graph& g, const CliqueStore& solution,
+    const DynamicOptions& options) {
+  if (solution.k() != options.k) {
+    return Status::InvalidArgument("solution k does not match options.k");
+  }
+  DKC_RETURN_IF_ERROR(VerifyDisjointCliques(g, solution));
+  // Maximality is load-bearing: the candidate characterization (non-free
+  // nodes of a candidate live in exactly one clique of S) presumes no
+  // all-free k-clique exists.
+  DKC_RETURN_IF_ERROR(VerifyMaximality(g, solution));
+
+  DynamicBuildStats stats;
+  auto [state, index_ms] = SeedState(g, solution, options);
+  stats.index_ms = index_ms;
+  return DynamicSolver(std::move(state), stats);
+}
+
+bool DynamicSolver::FindFreeCliqueWithEdge(NodeId u, NodeId v,
+                                           std::vector<NodeId>* clique) {
+  const int k = state_->k();
+  const DynamicGraph& graph = state_->graph();
+  // Free common neighbors of the new edge's endpoints.
+  std::vector<NodeId> common;
+  for (NodeId w : graph.Neighbors(u)) {
+    if (w != v && state_->IsFree(w) && graph.HasEdge(w, v)) {
+      common.push_back(w);
+    }
+  }
+  if (common.size() + 2 < static_cast<size_t>(k)) return false;
+
+  std::vector<NodeId> chosen;
+  std::function<bool(size_t, int)> extend = [&](size_t start,
+                                                int remaining) -> bool {
+    if (remaining == 0) return true;
+    for (size_t i = start; i < common.size(); ++i) {
+      const NodeId w = common[i];
+      bool adjacent_to_all = true;
+      for (NodeId x : chosen) {
+        if (!graph.HasEdge(w, x)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (!adjacent_to_all) continue;
+      chosen.push_back(w);
+      if (extend(i + 1, remaining - 1)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  if (!extend(0, k - 2)) return false;
+  clique->clear();
+  clique->push_back(u);
+  clique->push_back(v);
+  clique->insert(clique->end(), chosen.begin(), chosen.end());
+  return true;
+}
+
+void DynamicSolver::EnqueueOwnersOfNewCandidates(NodeId u, NodeId v,
+                                                 SwapQueue* queue) {
+  const int k = state_->k();
+  const DynamicGraph& graph = state_->graph();
+  std::vector<NodeId> common;
+  for (NodeId w : graph.Neighbors(u)) {
+    if (w != v && graph.HasEdge(w, v)) common.push_back(w);
+  }
+  if (common.size() + 2 < static_cast<size_t>(k)) return;
+
+  // Enumerate k-cliques through (u,v) whose non-free nodes all belong to
+  // one solution clique — those are exactly the candidates the new edge
+  // creates (u and v are free here). We only need the set of owners.
+  std::vector<uint32_t> owners;
+  std::vector<NodeId> chosen;
+  std::function<void(size_t, int, uint32_t)> extend =
+      [&](size_t start, int remaining, uint32_t owner) {
+        if (remaining == 0) {
+          if (owner != SolutionState::kNoClique) owners.push_back(owner);
+          return;
+        }
+        for (size_t i = start; i < common.size(); ++i) {
+          const NodeId w = common[i];
+          uint32_t next_owner = owner;
+          const uint32_t cw = state_->CliqueOf(w);
+          if (cw != SolutionState::kNoClique) {
+            if (owner != SolutionState::kNoClique && cw != owner) continue;
+            next_owner = cw;
+          }
+          bool adjacent_to_all = true;
+          for (NodeId x : chosen) {
+            if (!graph.HasEdge(w, x)) {
+              adjacent_to_all = false;
+              break;
+            }
+          }
+          if (!adjacent_to_all) continue;
+          chosen.push_back(w);
+          extend(i + 1, remaining - 1, next_owner);
+          chosen.pop_back();
+        }
+      };
+  extend(0, k - 2, SolutionState::kNoClique);
+
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  for (uint32_t owner : owners) {
+    if (!state_->SlotAlive(owner)) continue;
+    // The rebuild registers the new edge's candidates as a side effect.
+    if (state_->RebuildCandidatesFor(owner) > 0) {
+      queue->push_back(state_->RefOf(owner));
+    }
+  }
+}
+
+Status DynamicSolver::InsertEdge(NodeId u, NodeId v) {
+  if (!state_->graph().InsertEdge(u, v)) {
+    return Status::InvalidArgument("edge already present (or u == v)");
+  }
+  state_->EnsureNodeCapacity(state_->graph().num_nodes());
+
+  const uint32_t cu = state_->CliqueOf(u);
+  const uint32_t cv = state_->CliqueOf(v);
+  if (cu != SolutionState::kNoClique && cv != SolutionState::kNoClique) {
+    // Neither endpoint free: no candidate can use the edge (a candidate's
+    // non-free nodes come from one clique, and (u,v) inside one clique is
+    // impossible for a *new* edge). Nothing to do — Algorithm 6's silent
+    // case.
+    return Status::OK();
+  }
+
+  SwapQueue queue;
+  if (cu != SolutionState::kNoClique || cv != SolutionState::kNoClique) {
+    // Exactly one endpoint free (lines 1-6): candidates through (u,v) can
+    // only belong to the non-free endpoint's clique.
+    const uint32_t owner = cu != SolutionState::kNoClique ? cu : cv;
+    state_->RebuildCandidatesFor(owner);
+    bool has_new_candidate = false;
+    for (const auto& cand : state_->CandidatesOf(owner)) {
+      const bool has_u = std::find(cand.nodes.begin(), cand.nodes.end(), u) !=
+                         cand.nodes.end();
+      const bool has_v = std::find(cand.nodes.begin(), cand.nodes.end(), v) !=
+                         cand.nodes.end();
+      if (has_u && has_v) {
+        has_new_candidate = true;
+        break;
+      }
+    }
+    if (has_new_candidate) {
+      queue.push_back(state_->RefOf(owner));
+      Accumulate(&swap_stats_, TrySwapLoop(state_.get(), &queue));
+    }
+    return Status::OK();
+  }
+
+  // Both endpoints free (lines 7-15).
+  std::vector<NodeId> clique;
+  if (FindFreeCliqueWithEdge(u, v, &clique)) {
+    // A brand-new all-free clique: add directly, no swapping needed — other
+    // cliques cannot have gained candidates from consuming free nodes.
+    const uint32_t slot = state_->AddSolutionClique(clique);
+    state_->RebuildCandidatesFor(slot);
+    return Status::OK();
+  }
+  EnqueueOwnersOfNewCandidates(u, v, &queue);
+  if (!queue.empty()) {
+    Accumulate(&swap_stats_, TrySwapLoop(state_.get(), &queue));
+  }
+  return Status::OK();
+}
+
+Status DynamicSolver::DeleteEdge(NodeId u, NodeId v) {
+  if (!state_->graph().DeleteEdge(u, v)) {
+    return Status::NotFound("edge does not exist");
+  }
+  // Candidates through the edge are no longer cliques.
+  state_->KillCandidatesWithEdge(u, v);
+
+  const uint32_t cu = state_->CliqueOf(u);
+  const uint32_t cv = state_->CliqueOf(v);
+  if (cu == SolutionState::kNoClique || cu != cv) {
+    return Status::OK();  // lines 5-6: only candidates were affected
+  }
+
+  // Lines 1-4: the edge broke solution clique C. Replace it by the best
+  // disjoint packing of its surviving candidates (possibly empty), then let
+  // the swap loop chase follow-on opportunities.
+  auto replacement = PackDisjointCandidates(*state_, cu);
+  SwapQueue queue;
+  CommitReplacement(state_.get(), cu, replacement, &queue);
+  Accumulate(&swap_stats_, TrySwapLoop(state_.get(), &queue));
+  return Status::OK();
+}
+
+}  // namespace dkc

@@ -1,0 +1,89 @@
+// DynamicSolver — Section V end-to-end: builds an initial near-optimal
+// disjoint k-clique set (any static method), constructs the candidate index
+// (Algorithm 5), then maintains the solution under edge insertions
+// (Algorithm 6) and deletions (Algorithm 7) via swap operations
+// (Algorithm 4).
+
+#ifndef DKC_DYNAMIC_DYNAMIC_SOLVER_H_
+#define DKC_DYNAMIC_DYNAMIC_SOLVER_H_
+
+#include <memory>
+
+#include "core/solver.h"
+#include "dynamic/candidate_index.h"
+#include "dynamic/swap.h"
+#include "util/status.h"
+
+namespace dkc {
+
+struct DynamicOptions {
+  int k = 3;
+  /// Static method that seeds the initial solution.
+  Method initial_method = Method::kLP;
+  Budget initial_budget;
+  ThreadPool* pool = nullptr;  // initial solve + index build
+};
+
+struct DynamicBuildStats {
+  double solve_ms = 0.0;  // initial static solve
+  double index_ms = 0.0;  // Algorithm 5 over the whole solution (Table VII)
+};
+
+class DynamicSolver {
+ public:
+  /// Solve `g` statically, then index it. Fails if the static solve fails.
+  static StatusOr<DynamicSolver> Build(const Graph& g,
+                                       const DynamicOptions& options);
+
+  /// Seed from a previously computed (e.g. persisted via io/solution_io)
+  /// solution instead of re-solving. The seed must be a valid *maximal*
+  /// disjoint k-clique set of `g` with the options' k — the maintenance
+  /// invariants (Section V's candidate characterization) rely on
+  /// maximality. Returns InvalidArgument/Corruption for malformed seeds.
+  static StatusOr<DynamicSolver> BuildFromSolution(
+      const Graph& g, const CliqueStore& solution,
+      const DynamicOptions& options);
+
+  /// Algorithm 6. Returns InvalidArgument if the edge already exists or
+  /// u == v. New node ids grow the graph.
+  Status InsertEdge(NodeId u, NodeId v);
+
+  /// Algorithm 7. Returns NotFound if the edge does not exist.
+  Status DeleteEdge(NodeId u, NodeId v);
+
+  NodeId solution_size() const { return state_->solution_size(); }
+  Count index_size() const { return state_->num_alive_candidates(); }
+  const DynamicBuildStats& build_stats() const { return build_stats_; }
+  const SwapStats& lifetime_swap_stats() const { return swap_stats_; }
+
+  /// Copy of the current solution, e.g. for verification.
+  CliqueStore Snapshot() const { return state_->Snapshot(); }
+  const DynamicGraph& graph() const { return state_->graph(); }
+  int64_t MemoryBytes() const { return state_->MemoryBytes(); }
+
+  /// Invariant check for tests.
+  bool CheckInvariants(std::string* error) const {
+    return state_->CheckInvariants(error);
+  }
+
+ private:
+  DynamicSolver(std::unique_ptr<SolutionState> state,
+                DynamicBuildStats stats)
+      : state_(std::move(state)), build_stats_(stats) {}
+
+  // Finds one k-clique containing both u and v with every node free;
+  // fills `clique` and returns true if found (Algorithm 6, lines 7-9).
+  bool FindFreeCliqueWithEdge(NodeId u, NodeId v, std::vector<NodeId>* clique);
+
+  // Registers the owners of would-be candidate cliques through the new
+  // edge (u,v) and pushes them to `queue` (Algorithm 6, lines 12-15).
+  void EnqueueOwnersOfNewCandidates(NodeId u, NodeId v, SwapQueue* queue);
+
+  std::unique_ptr<SolutionState> state_;  // stable address for internals
+  DynamicBuildStats build_stats_;
+  SwapStats swap_stats_;
+};
+
+}  // namespace dkc
+
+#endif  // DKC_DYNAMIC_DYNAMIC_SOLVER_H_

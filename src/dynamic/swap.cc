@@ -1,0 +1,93 @@
+#include "dynamic/swap.h"
+
+#include <algorithm>
+
+namespace dkc {
+
+std::vector<std::vector<NodeId>> PackDisjointCandidates(
+    const SolutionState& state, uint32_t slot) {
+  auto candidates = state.CandidatesOf(slot);
+  // Ascending clique score; CandidatesOf yields registration order, and
+  // stable_sort keeps it as the tie-break, so packing is deterministic.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const SolutionState::CandidateView& a,
+                      const SolutionState::CandidateView& b) {
+                     return a.score < b.score;
+                   });
+  std::vector<std::vector<NodeId>> chosen;
+  std::vector<NodeId> taken;  // nodes consumed by chosen candidates
+  for (auto& cand : candidates) {
+    bool disjoint = true;
+    for (NodeId u : cand.nodes) {
+      if (std::find(taken.begin(), taken.end(), u) != taken.end()) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    taken.insert(taken.end(), cand.nodes.begin(), cand.nodes.end());
+    chosen.push_back(std::move(cand.nodes));
+  }
+  return chosen;
+}
+
+void CommitReplacement(SolutionState* state, uint32_t slot,
+                       const std::vector<std::vector<NodeId>>& replacement,
+                       SwapQueue* queue) {
+  std::vector<NodeId> freed(state->SlotNodes(slot).begin(),
+                            state->SlotNodes(slot).end());
+  state->RemoveSolutionClique(slot);
+
+  std::vector<uint32_t> added;
+  added.reserve(replacement.size());
+  for (const auto& nodes : replacement) {
+    added.push_back(state->AddSolutionClique(nodes));
+  }
+
+  // New cliques get a fresh candidate set (Algorithm 5 on their B).
+  for (uint32_t s : added) {
+    const size_t cands = state->RebuildCandidatesFor(s);
+    if (queue != nullptr && cands > 0) queue->push_back(state->RefOf(s));
+  }
+
+  // Nodes of the removed clique that no replacement consumed are free now;
+  // cliques adjacent to them may have gained candidates.
+  std::vector<uint32_t> affected;
+  for (NodeId f : freed) {
+    if (!state->IsFree(f)) continue;
+    for (NodeId w : state->graph().Neighbors(f)) {
+      const uint32_t s = state->CliqueOf(w);
+      if (s != SolutionState::kNoClique) affected.push_back(s);
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (uint32_t s : added) {  // already rebuilt above
+    affected.erase(std::remove(affected.begin(), affected.end(), s),
+                   affected.end());
+  }
+  for (uint32_t s : affected) {
+    if (!state->SlotAlive(s)) continue;
+    const size_t cands = state->RebuildCandidatesFor(s);
+    if (queue != nullptr && cands > 0) queue->push_back(state->RefOf(s));
+  }
+}
+
+SwapStats TrySwapLoop(SolutionState* state, SwapQueue* queue) {
+  SwapStats stats;
+  while (!queue->empty()) {
+    const SolutionState::SlotRef ref = queue->front();
+    queue->pop_front();
+    if (!state->RefValid(ref)) continue;  // swapped away since enqueue
+    ++stats.pops;
+    auto replacement = PackDisjointCandidates(*state, ref.slot);
+    if (replacement.size() <= 1) continue;  // no net gain: keep C
+    ++stats.commits;
+    stats.cliques_gained += replacement.size() - 1;
+    CommitReplacement(state, ref.slot, replacement, queue);
+  }
+  return stats;
+}
+
+}  // namespace dkc

@@ -1,0 +1,50 @@
+// The swap operation (Algorithm 4) and the commit/propagation machinery it
+// shares with the update handlers.
+//
+// TrySwap pops a solution clique C from a FIFO queue, greedily packs a
+// maximal disjoint subset S_dis of C's candidate cliques in ascending
+// clique-score order (the Algorithm-2 rule applied to the tiny candidate
+// set), and commits — replace C by S_dis — iff |S_dis| >= 2, i.e. the
+// solution strictly grows. Commits free leftover nodes and create fresh
+// candidates, so affected cliques re-enter the queue; every commit grows
+// |S| by >= 1, which bounds the loop.
+
+#ifndef DKC_DYNAMIC_SWAP_H_
+#define DKC_DYNAMIC_SWAP_H_
+
+#include <deque>
+#include <vector>
+
+#include "dynamic/candidate_index.h"
+
+namespace dkc {
+
+using SwapQueue = std::deque<SolutionState::SlotRef>;
+
+struct SwapStats {
+  uint64_t pops = 0;
+  uint64_t commits = 0;
+  uint64_t cliques_gained = 0;  // sum over commits of |S_dis| - 1
+};
+
+/// Greedy maximal disjoint packing of the alive candidates of `slot`,
+/// ascending clique score (deterministic: ties by registration order).
+/// Returned cliques are node-vectors safe to use after the slot dies.
+std::vector<std::vector<NodeId>> PackDisjointCandidates(
+    const SolutionState& state, uint32_t slot);
+
+/// Replace solution clique `slot` (must be alive) by `replacement` cliques
+/// (each must consist of nodes that are free once `slot` is removed).
+/// Rebuilds candidates for the added cliques and for every clique adjacent
+/// to a node that ended up free, pushing the ones with candidates to
+/// `queue` (when non-null) for further swapping.
+void CommitReplacement(SolutionState* state, uint32_t slot,
+                       const std::vector<std::vector<NodeId>>& replacement,
+                       SwapQueue* queue);
+
+/// Algorithm 4: drain the queue, swapping wherever |S_dis| >= 2.
+SwapStats TrySwapLoop(SolutionState* state, SwapQueue* queue);
+
+}  // namespace dkc
+
+#endif  // DKC_DYNAMIC_SWAP_H_

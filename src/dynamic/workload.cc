@@ -1,0 +1,68 @@
+#include "dynamic/workload.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+
+namespace dkc {
+
+std::vector<Edge> SampleEdges(const Graph& g, size_t count, Rng& rng) {
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  count = std::min(count, edges.size());
+  // Partial Fisher-Yates: the first `count` positions become the sample.
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + rng.NextBounded(edges.size() - i);
+    std::swap(edges[i], edges[j]);
+  }
+  edges.resize(count);
+  return edges;
+}
+
+Graph RemoveEdges(const Graph& g, const std::vector<Edge>& edges) {
+  std::vector<Edge> sorted(edges);
+  for (auto& [u, v] : sorted) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  GraphBuilder builder(g.num_nodes());
+  if (g.num_nodes() > 0) builder.EnsureNode(g.num_nodes() - 1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u >= v) continue;
+      if (!std::binary_search(sorted.begin(), sorted.end(), Edge{u, v})) {
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+MixedWorkload MakeMixedWorkload(const Graph& g, size_t insert_count,
+                                size_t delete_count, Rng& rng) {
+  // One disjoint sample covers both op sets: the first `insert_count`
+  // edges are pre-removed (and re-inserted by the stream), the rest are
+  // deleted by the stream.
+  auto sample = SampleEdges(g, insert_count + delete_count, rng);
+  insert_count = std::min(insert_count, sample.size());
+  std::vector<Edge> to_insert(sample.begin(),
+                              sample.begin() + insert_count);
+  std::vector<Edge> to_delete(sample.begin() + insert_count, sample.end());
+
+  MixedWorkload workload;
+  workload.prepared = RemoveEdges(g, to_insert);
+  workload.ops.reserve(sample.size());
+  for (const Edge& e : to_insert) workload.ops.push_back({true, e});
+  for (const Edge& e : to_delete) workload.ops.push_back({false, e});
+  for (size_t i = workload.ops.size(); i > 1; --i) {  // Fisher-Yates shuffle
+    std::swap(workload.ops[i - 1], workload.ops[rng.NextBounded(i)]);
+  }
+  return workload;
+}
+
+}  // namespace dkc

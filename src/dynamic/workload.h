@@ -1,0 +1,47 @@
+// Update workload generation mirroring Section VI-E: w deletions of
+// uniformly sampled existing edges, w insertions (the same edges added
+// back), and a mixed stream of i insertions + d deletions applied to a
+// prepared graph G' (G minus the edges that will be inserted).
+
+#ifndef DKC_DYNAMIC_WORKLOAD_H_
+#define DKC_DYNAMIC_WORKLOAD_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dkc {
+
+using Edge = std::pair<NodeId, NodeId>;
+
+/// `count` distinct edges of `g`, uniformly sampled without replacement
+/// (clamped to m).
+std::vector<Edge> SampleEdges(const Graph& g, size_t count, Rng& rng);
+
+struct UpdateOp {
+  bool is_insert = false;
+  Edge edge;
+};
+
+struct MixedWorkload {
+  /// G' = G minus `insertions`; the stream is applied on top of this.
+  Graph prepared;
+  /// Shuffled interleaving of `insert_count` insertions (of removed edges)
+  /// and `delete_count` deletions (of edges still present in G').
+  std::vector<UpdateOp> ops;
+};
+
+/// Builds the paper's mixed workload: sample insert+delete edge sets
+/// disjointly from g, strip the insert set to get G', shuffle the ops.
+MixedWorkload MakeMixedWorkload(const Graph& g, size_t insert_count,
+                                size_t delete_count, Rng& rng);
+
+/// Copy of `g` without the given edges (helper for MakeMixedWorkload and
+/// the deletion-then-insertion experiments).
+Graph RemoveEdges(const Graph& g, const std::vector<Edge>& edges);
+
+}  // namespace dkc
+
+#endif  // DKC_DYNAMIC_WORKLOAD_H_

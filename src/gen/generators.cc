@@ -1,0 +1,222 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace dkc {
+
+StatusOr<Graph> WattsStrogatz(NodeId n, Count degree, double beta, Rng& rng) {
+  if (degree % 2 != 0) {
+    return Status::InvalidArgument("Watts-Strogatz degree must be even");
+  }
+  if (degree >= n) {
+    return Status::InvalidArgument("Watts-Strogatz degree must be < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("Watts-Strogatz beta must be in [0,1]");
+  }
+  GraphBuilder builder(n);
+  builder.EnsureNode(n == 0 ? 0 : n - 1);
+  const Count half = degree / 2;
+  for (NodeId u = 0; u < n; ++u) {
+    for (Count j = 1; j <= half; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      if (rng.NextBool(beta)) {
+        // Rewire to a uniform random non-self target. Collisions with an
+        // existing edge simply collapse at Build() time, matching the usual
+        // WS implementations (networkx does the same modulo resampling).
+        v = static_cast<NodeId>(rng.NextBounded(n));
+        if (v == u) v = static_cast<NodeId>((v + 1) % n);
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> ErdosRenyi(NodeId n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("Erdos-Renyi p must be in [0,1]");
+  }
+  GraphBuilder builder(n);
+  if (n > 0) builder.EnsureNode(n - 1);
+  if (p == 0.0 || n < 2) return builder.Build();
+
+  // Geometric skipping over the lexicographic enumeration of pairs (u,v),
+  // u < v: the gap between successive present edges is Geometric(p).
+  const double log1mp = std::log1p(-p);
+  uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+  uint64_t index = 0;
+  // Pairs (u,v), u < v, are numbered lexicographically; row u owns n-1-u of
+  // them. We walk rows incrementally, so decoding is amortized O(1)/edge.
+  NodeId row = 0;
+  uint64_t row_begin = 0;           // index of first pair in current row
+  uint64_t row_len = n - 1;         // pairs in current row
+  while (true) {
+    double r = rng.NextDouble();
+    uint64_t skip =
+        p >= 1.0 ? 0
+                 : static_cast<uint64_t>(std::floor(std::log1p(-r) / log1mp));
+    index += skip;
+    if (index >= total) break;
+    while (index >= row_begin + row_len) {
+      row_begin += row_len;
+      ++row;
+      row_len = n - 1 - row;
+    }
+    const NodeId u = row;
+    const NodeId v = static_cast<NodeId>(u + 1 + (index - row_begin));
+    builder.AddEdge(u, v);
+    ++index;
+  }
+  return builder.Build();
+}
+
+StatusOr<Graph> BarabasiAlbert(NodeId n, Count attach, Rng& rng) {
+  if (attach == 0) {
+    return Status::InvalidArgument("Barabasi-Albert attach must be >= 1");
+  }
+  if (n < attach + 1) {
+    return Status::InvalidArgument("Barabasi-Albert needs n >= attach + 1");
+  }
+  GraphBuilder builder(n);
+  builder.EnsureNode(n - 1);
+  // Repeated-endpoint list: sampling a uniform element of `endpoints` is
+  // sampling proportional to degree (the standard linear-time BA trick).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * attach * 2);
+  const NodeId seed_size = static_cast<NodeId>(attach + 1);
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<NodeId> targets;
+  for (NodeId u = seed_size; u < n; ++u) {
+    targets.clear();
+    while (targets.size() < attach) {
+      NodeId t = endpoints[rng.NextBounded(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      builder.AddEdge(u, t);
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+StatusOr<PlantedCliqueGraph> PlantedCliques(const PlantedCliqueSpec& spec,
+                                            Rng& rng) {
+  if (spec.k < 3) {
+    return Status::InvalidArgument("planted clique size k must be >= 3");
+  }
+  const NodeId clique_nodes =
+      spec.num_cliques * static_cast<NodeId>(spec.k);
+  const NodeId n = clique_nodes + spec.filler_nodes;
+  if (n == 0) return Status::InvalidArgument("empty planted instance");
+
+  std::vector<NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  if (spec.shuffle_ids) {
+    for (NodeId i = n; i > 1; --i) {  // Fisher-Yates
+      std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
+    }
+  }
+
+  GraphBuilder builder(n);
+  builder.EnsureNode(n - 1);
+  for (NodeId c = 0; c < spec.num_cliques; ++c) {
+    const NodeId base = c * static_cast<NodeId>(spec.k);
+    for (int i = 0; i < spec.k; ++i) {
+      for (int j = i + 1; j < spec.k; ++j) {
+        builder.AddEdge(ids[base + i], ids[base + j]);
+      }
+    }
+  }
+  // Filler: a uniform random tree (clique-free for k >= 3) attached to
+  // nothing in the planted part, so it cannot create new k-cliques.
+  for (NodeId i = 1; i < spec.filler_nodes; ++i) {
+    const NodeId u = clique_nodes + i;
+    const NodeId parent = clique_nodes + static_cast<NodeId>(
+                                             rng.NextBounded(i));
+    builder.AddEdge(ids[u], ids[parent]);
+  }
+  // Optional ER noise across all nodes. This may create extra k-cliques, so
+  // callers that need the exact optimum must keep noise_p == 0.
+  if (spec.noise_p > 0.0) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.NextBool(spec.noise_p)) builder.AddEdge(ids[u], ids[v]);
+      }
+    }
+  }
+
+  PlantedCliqueGraph out;
+  out.graph = builder.Build();
+  out.planted_count = spec.num_cliques;
+  return out;
+}
+
+StatusOr<Graph> PlantedPartition(const PlantedPartitionSpec& spec, Rng& rng) {
+  if (spec.p_in < 0 || spec.p_in > 1 || spec.p_out < 0 || spec.p_out > 1) {
+    return Status::InvalidArgument("probabilities must be in [0,1]");
+  }
+  const NodeId n = spec.num_communities * spec.community_size;
+  if (n == 0) return Status::InvalidArgument("empty planted partition");
+  GraphBuilder builder(n);
+  builder.EnsureNode(n - 1);
+
+  // Dense intra-community part: direct Bernoulli per pair (communities are
+  // small, so the quadratic loop stays cheap).
+  for (NodeId c = 0; c < spec.num_communities; ++c) {
+    const NodeId base = c * spec.community_size;
+    for (NodeId i = 0; i < spec.community_size; ++i) {
+      for (NodeId j = i + 1; j < spec.community_size; ++j) {
+        if (rng.NextBool(spec.p_in)) builder.AddEdge(base + i, base + j);
+      }
+    }
+  }
+  // Sparse inter-community part: geometric skipping over cross pairs, the
+  // same trick ErdosRenyi uses, restricted to pairs in different blocks.
+  if (spec.p_out > 0 && spec.num_communities > 1) {
+    const double log1mp = std::log1p(-spec.p_out);
+    const uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+    uint64_t index = 0;
+    NodeId row = 0;
+    uint64_t row_begin = 0;
+    uint64_t row_len = n - 1;
+    while (true) {
+      const double r = rng.NextDouble();
+      const uint64_t skip = spec.p_out >= 1.0
+                                ? 0
+                                : static_cast<uint64_t>(
+                                      std::floor(std::log1p(-r) / log1mp));
+      index += skip;
+      if (index >= total) break;
+      while (index >= row_begin + row_len) {
+        row_begin += row_len;
+        ++row;
+        row_len = n - 1 - row;
+      }
+      const NodeId u = row;
+      const NodeId v = static_cast<NodeId>(u + 1 + (index - row_begin));
+      if (u / spec.community_size != v / spec.community_size) {
+        builder.AddEdge(u, v);
+      }
+      ++index;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace dkc

@@ -1,0 +1,72 @@
+#include "gen/named_graphs.h"
+
+#include <initializer_list>
+#include <utility>
+
+#include "graph/graph_builder.h"
+
+namespace dkc {
+namespace {
+
+// Builds from 1-based edge pairs (papers and classic datasets are 1-based).
+Graph FromOneBasedEdges(
+    NodeId n, std::initializer_list<std::pair<int, int>> edges) {
+  GraphBuilder builder(n);
+  builder.EnsureNode(n - 1);
+  for (const auto& [u, v] : edges) {
+    builder.AddEdge(static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Graph PaperFig2Graph() {
+  // Exactly the seven 3-cliques of Example 1:
+  // C1=(v1,v3,v6) C2=(v3,v5,v6) C3=(v5,v6,v8) C4=(v5,v7,v8)
+  // C5=(v7,v8,v9) C6=(v4,v7,v9) C7=(v2,v4,v9)
+  return FromOneBasedEdges(9, {{1, 3}, {1, 6}, {3, 6},
+                               {3, 5}, {5, 6},
+                               {5, 8}, {6, 8},
+                               {5, 7}, {7, 8},
+                               {7, 9}, {8, 9},
+                               {4, 7}, {4, 9},
+                               {2, 4}, {2, 9}});
+}
+
+Graph PaperFig5G1() {
+  // Triangles {v1,v2,v3}, {v3,v4,v5}, {v9,v10,v11} plus the path
+  // v5-v6-v7-v8-v9 connecting them; adding (v5,v7) (=> G2) creates the
+  // triangle {v5,v6,v7} the paper's running swap example relies on.
+  return FromOneBasedEdges(11, {{1, 2}, {1, 3}, {2, 3},
+                                {3, 4}, {3, 5}, {4, 5},
+                                {5, 6}, {6, 7}, {7, 8}, {8, 9},
+                                {9, 10}, {9, 11}, {10, 11}});
+}
+
+Graph PaperFig5G2() {
+  return FromOneBasedEdges(11, {{1, 2}, {1, 3}, {2, 3},
+                                {3, 4}, {3, 5}, {4, 5},
+                                {5, 6}, {6, 7}, {7, 8}, {8, 9},
+                                {9, 10}, {9, 11}, {10, 11},
+                                {5, 7}});
+}
+
+Graph KarateClub() {
+  return FromOneBasedEdges(
+      34,
+      {{1, 2},  {1, 3},  {1, 4},  {1, 5},  {1, 6},  {1, 7},  {1, 8},
+       {1, 9},  {1, 11}, {1, 12}, {1, 13}, {1, 14}, {1, 18}, {1, 20},
+       {1, 22}, {1, 32}, {2, 3},  {2, 4},  {2, 8},  {2, 14}, {2, 18},
+       {2, 20}, {2, 22}, {2, 31}, {3, 4},  {3, 8},  {3, 9},  {3, 10},
+       {3, 14}, {3, 28}, {3, 29}, {3, 33}, {4, 8},  {4, 13}, {4, 14},
+       {5, 7},  {5, 11}, {6, 7},  {6, 11}, {6, 17}, {7, 17}, {9, 31},
+       {9, 33}, {9, 34}, {10, 34}, {14, 34}, {15, 33}, {15, 34},
+       {16, 33}, {16, 34}, {19, 33}, {19, 34}, {20, 34}, {21, 33},
+       {21, 34}, {23, 33}, {23, 34}, {24, 26}, {24, 28}, {24, 30},
+       {24, 33}, {24, 34}, {25, 26}, {25, 28}, {25, 32}, {26, 32},
+       {27, 30}, {27, 34}, {28, 34}, {29, 32}, {29, 34}, {30, 33},
+       {30, 34}, {31, 33}, {31, 34}, {32, 33}, {32, 34}, {33, 34}});
+}
+
+}  // namespace dkc

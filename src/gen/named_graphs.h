@@ -1,0 +1,32 @@
+// Small concrete graphs embedded in the library:
+//  * the paper's running examples (Fig. 2 graph G, Fig. 5 graphs G1/G2),
+//    used by unit tests to check algorithm traces against the paper;
+//  * Zachary's karate club (public-domain classic), a real social network
+//    small enough for the exact OPT baseline.
+
+#ifndef DKC_GEN_NAMED_GRAPHS_H_
+#define DKC_GEN_NAMED_GRAPHS_H_
+
+#include "graph/graph.h"
+
+namespace dkc {
+
+/// The 9-node, 15-edge graph of the paper's Fig. 2. Node v_i of the paper is
+/// node i-1 here. It has exactly seven 3-cliques (Example 1), a maximal
+/// disjoint 3-clique set of size 2 and a maximum one of size 3.
+Graph PaperFig2Graph();
+
+/// Fig. 5(a): graph G1 with 11 nodes; its maximum disjoint 3-clique set has
+/// size 2 ({v3,v4,v5}, {v9,v10,v11} in paper numbering).
+Graph PaperFig5G1();
+
+/// Fig. 5(b): G2 = G1 plus edge (v5, v7); the maximum disjoint 3-clique set
+/// grows to size 3 after the swap the paper walks through.
+Graph PaperFig5G2();
+
+/// Zachary's karate club: 34 nodes, 78 edges.
+Graph KarateClub();
+
+}  // namespace dkc
+
+#endif  // DKC_GEN_NAMED_GRAPHS_H_

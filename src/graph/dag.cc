@@ -1,0 +1,31 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+
+namespace dkc {
+
+Dag::Dag(const Graph& g, Ordering ordering) : ordering_(std::move(ordering)) {
+  const NodeId n = g.num_nodes();
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    Count out_deg = 0;
+    for (NodeId v : g.Neighbors(u)) {
+      if (ordering_.rank[v] < ordering_.rank[u]) ++out_deg;
+    }
+    offsets_[u + 1] = out_deg;
+    max_out_degree_ = std::max(max_out_degree_, out_deg);
+  }
+  for (NodeId u = 0; u < n; ++u) offsets_[u + 1] += offsets_[u];
+
+  out_.resize(offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    Count cursor = offsets_[u];
+    // Graph neighbor lists are sorted by id, and we filter in order, so each
+    // out-list is already sorted by id; no per-node re-sort needed.
+    for (NodeId v : g.Neighbors(u)) {
+      if (ordering_.rank[v] < ordering_.rank[u]) out_[cursor++] = v;
+    }
+  }
+}
+
+}  // namespace dkc

@@ -1,0 +1,65 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+
+namespace dkc {
+
+DynamicGraph::DynamicGraph(const Graph& g) : adj_(g.num_nodes()) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    adj_[u].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = g.num_edges();
+}
+
+bool DynamicGraph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  if (adj_[u].size() > adj_[v].size()) std::swap(u, v);
+  return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+}
+
+bool DynamicGraph::InsertEdge(NodeId u, NodeId v) {
+  if (u == v) return false;
+  const NodeId needed = std::max(u, v) + 1;
+  if (needed > num_nodes()) adj_.resize(needed);
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it != adj_[u].end() && *it == v) return false;
+  adj_[u].insert(it, v);
+  adj_[v].insert(std::lower_bound(adj_[v].begin(), adj_[v].end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::DeleteEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it == adj_[u].end() || *it != v) return false;
+  adj_[u].erase(it);
+  adj_[v].erase(std::lower_bound(adj_[v].begin(), adj_[v].end(), u));
+  --num_edges_;
+  return true;
+}
+
+Graph DynamicGraph::ToGraph() const {
+  GraphBuilder builder(num_nodes());
+  builder.EnsureNode(num_nodes() == 0 ? 0 : num_nodes() - 1);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+int64_t DynamicGraph::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(adj_.capacity() *
+                                       sizeof(std::vector<NodeId>));
+  for (const auto& list : adj_) {
+    bytes += static_cast<int64_t>(list.capacity() * sizeof(NodeId));
+  }
+  return bytes;
+}
+
+}  // namespace dkc

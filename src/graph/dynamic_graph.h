@@ -1,0 +1,57 @@
+// Mutable undirected graph supporting edge insertion and deletion.
+//
+// Section V of the paper maintains the disjoint k-clique set under a stream
+// of edge updates. The dynamic engine needs adjacency queries, neighbor
+// iteration, and O(d) edge updates on the *current* graph, so adjacency is
+// kept as per-node sorted vectors (cache-friendlier and leaner than hash
+// sets at social-network degrees).
+
+#ifndef DKC_GRAPH_DYNAMIC_GRAPH_H_
+#define DKC_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dkc {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Start from a static snapshot.
+  explicit DynamicGraph(const Graph& g);
+
+  /// An empty graph over `n` nodes.
+  explicit DynamicGraph(NodeId n) : adj_(n) {}
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  Count num_edges() const { return num_edges_; }
+
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {adj_[u].data(), adj_[u].size()};
+  }
+  Count Degree(NodeId u) const { return adj_[u].size(); }
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Insert (u,v). Returns false if the edge already exists or u == v.
+  /// Grows the node set if an endpoint is out of range.
+  bool InsertEdge(NodeId u, NodeId v);
+
+  /// Delete (u,v). Returns false if the edge does not exist.
+  bool DeleteEdge(NodeId u, NodeId v);
+
+  /// Immutable CSR snapshot of the current state.
+  Graph ToGraph() const;
+
+  int64_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;  // each sorted ascending
+  Count num_edges_ = 0;
+};
+
+}  // namespace dkc
+
+#endif  // DKC_GRAPH_DYNAMIC_GRAPH_H_

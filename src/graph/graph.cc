@@ -1,0 +1,22 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace dkc {
+
+Count Graph::MaxDegree() const {
+  Count best = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) best = std::max(best, Degree(u));
+  return best;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  // Search the shorter list: worst-case degree skew is extreme in social
+  // graphs and this halves the expected probe cost.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace dkc

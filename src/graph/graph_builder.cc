@@ -1,0 +1,55 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace dkc {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes_hint) {
+  num_nodes_ = num_nodes_hint;
+  edges_.reserve(static_cast<size_t>(num_nodes_hint) * 4);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  if (v + 1 > num_nodes_) num_nodes_ = v + 1;
+}
+
+void GraphBuilder::EnsureNode(NodeId n) {
+  if (n + 1 > num_nodes_) num_nodes_ = n + 1;
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<Count> offsets(num_nodes_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> neighbors(edges_.size() * 2);
+  std::vector<Count> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  // Edges were sorted by (min, max) endpoint, which does NOT leave each CSR
+  // range sorted (the v-side insertions arrive in u order). Sort each range.
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[u]),
+              neighbors.begin() + static_cast<ptrdiff_t>(offsets[u + 1]));
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  NodeId n = num_nodes_;
+  num_nodes_ = 0;
+  (void)n;
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace dkc

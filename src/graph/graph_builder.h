@@ -1,0 +1,41 @@
+// Mutable accumulator that turns an arbitrary edge stream into a clean CSR
+// Graph: deduplicates parallel edges, drops self loops, and sorts adjacency
+// lists. Raw real-world edge lists (KONECT/SNAP dumps) contain all of these
+// defects, so every loader and generator funnels through this class.
+
+#ifndef DKC_GRAPH_GRAPH_BUILDER_H_
+#define DKC_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dkc {
+
+class GraphBuilder {
+ public:
+  /// `num_nodes_hint` preallocates; node count still grows automatically to
+  /// max node id + 1.
+  explicit GraphBuilder(NodeId num_nodes_hint = 0);
+
+  /// Record an undirected edge. Self loops are silently dropped; duplicates
+  /// are removed at Build() time.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Ensure the final graph has at least `n` nodes (possibly isolated).
+  void EnsureNode(NodeId n);
+
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Produce the immutable CSR graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace dkc
+
+#endif  // DKC_GRAPH_GRAPH_BUILDER_H_

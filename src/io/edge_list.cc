@@ -1,0 +1,122 @@
+#include "io/edge_list.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace dkc {
+namespace {
+
+struct LineParse {
+  bool has_edge = false;
+  uint64_t u = 0;
+  uint64_t v = 0;
+};
+
+// Parses one line. Returns Corruption on garbage; comment/blank lines yield
+// has_edge == false.
+StatusOr<LineParse> ParseLine(const std::string& line, Count line_number) {
+  LineParse out;
+  size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  if (i == line.size() || line[i] == '#' || line[i] == '%') return out;
+
+  auto parse_uint = [&](uint64_t* value) -> bool {
+    if (i >= line.size() || !std::isdigit(static_cast<unsigned char>(line[i]))) {
+      return false;
+    }
+    uint64_t x = 0;
+    while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+      x = x * 10 + static_cast<uint64_t>(line[i] - '0');
+      ++i;
+    }
+    *value = x;
+    return true;
+  };
+
+  if (!parse_uint(&out.u)) {
+    return Status::Corruption("line " + std::to_string(line_number) +
+                              ": expected integer node id");
+  }
+  while (i < line.size() &&
+         (std::isspace(static_cast<unsigned char>(line[i])) || line[i] == ',')) {
+    ++i;
+  }
+  if (!parse_uint(&out.v)) {
+    return Status::Corruption("line " + std::to_string(line_number) +
+                              ": expected second node id");
+  }
+  out.has_edge = true;
+  return out;
+}
+
+StatusOr<EdgeListReadResult> ParseStream(std::istream& in) {
+  EdgeListReadResult result;
+  GraphBuilder builder;
+  std::unordered_map<uint64_t, NodeId> remap;
+  auto dense_id = [&remap](uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<NodeId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  Count line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    auto parsed = ParseLine(line, line_number);
+    if (!parsed.ok()) return parsed.status();
+    if (!parsed->has_edge) continue;
+    ++result.lines_parsed;
+    if (parsed->u == parsed->v) {
+      ++result.self_loops_dropped;
+      continue;
+    }
+    // Sequence the two lookups explicitly: first-appearance numbering must
+    // not depend on the compiler's argument evaluation order.
+    const NodeId u = dense_id(parsed->u);
+    const NodeId v = dense_id(parsed->v);
+    builder.AddEdge(u, v);
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<EdgeListReadResult> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  return ParseStream(in);
+}
+
+StatusOr<EdgeListReadResult> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace dkc

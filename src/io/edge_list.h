@@ -1,0 +1,37 @@
+// Edge-list readers/writers for the plain-text formats used by SNAP, KONECT
+// and the Network Repository (the paper's dataset sources, Section VI-A):
+// one "u v" pair per line, '#' or '%' comment lines, arbitrary (possibly
+// sparse, possibly 1-based) node ids. Ids are remapped to a dense 0-based
+// range in first-appearance order.
+
+#ifndef DKC_IO_EDGE_LIST_H_
+#define DKC_IO_EDGE_LIST_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dkc {
+
+struct EdgeListReadResult {
+  Graph graph;
+  Count lines_parsed = 0;
+  Count self_loops_dropped = 0;
+};
+
+/// Read a whitespace-separated edge list from `path`. Extra columns after
+/// the first two (weights, timestamps — KONECT emits them) are ignored.
+/// Returns Corruption for lines that do not start with two integers.
+StatusOr<EdgeListReadResult> ReadEdgeList(const std::string& path);
+
+/// Parse the same format from an in-memory string (used by tests and for
+/// graphs embedded in the binary).
+StatusOr<EdgeListReadResult> ParseEdgeList(const std::string& text);
+
+/// Write `g` as a "u v" edge list (u < v, one line per undirected edge).
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace dkc
+
+#endif  // DKC_IO_EDGE_LIST_H_

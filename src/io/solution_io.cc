@@ -1,0 +1,85 @@
+#include "io/solution_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace dkc {
+namespace {
+
+StatusOr<CliqueStore> ParseSolution(std::istream& in) {
+  std::string line;
+  // Header.
+  int k = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream header(line);
+    std::string magic, key;
+    if (!(header >> magic >> key >> k) || magic != "dkclique-solution" ||
+        key != "k" || k < 2) {
+      return Status::Corruption("bad solution header: '" + line + "'");
+    }
+    break;
+  }
+  if (k == 0) return Status::Corruption("missing solution header");
+
+  CliqueStore store(k);
+  std::vector<NodeId> nodes;
+  Count line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    nodes.clear();
+    uint64_t id = 0;
+    while (row >> id) nodes.push_back(static_cast<NodeId>(id));
+    if (nodes.size() != static_cast<size_t>(k)) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": expected " + std::to_string(k) +
+                                " node ids, got " +
+                                std::to_string(nodes.size()));
+    }
+    store.Add(nodes);
+  }
+  return store;
+}
+
+}  // namespace
+
+std::string SolutionToString(const CliqueStore& set) {
+  std::ostringstream out;
+  out << "dkclique-solution k " << set.k() << "\n";
+  for (CliqueId c = 0; c < set.size(); ++c) {
+    auto nodes = set.Get(c);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << nodes[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteSolution(const CliqueStore& set, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << SolutionToString(set);
+  out.flush();
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<CliqueStore> ReadSolution(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open '" + path + "'");
+  return ParseSolution(in);
+}
+
+StatusOr<CliqueStore> SolutionFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseSolution(in);
+}
+
+}  // namespace dkc

@@ -1,0 +1,32 @@
+// Persistence for computed disjoint k-clique sets.
+//
+// Production deployments (the paper's teaming events run daily) need to
+// hand the computed grouping to downstream services and reload it to seed
+// the dynamic maintainer. Format: a header line "dkclique-solution k <k>"
+// followed by one clique per line (k whitespace-separated node ids);
+// '#' comments allowed.
+
+#ifndef DKC_IO_SOLUTION_IO_H_
+#define DKC_IO_SOLUTION_IO_H_
+
+#include <string>
+
+#include "clique/clique_store.h"
+#include "util/status.h"
+
+namespace dkc {
+
+/// Write `set` to `path`. Overwrites.
+Status WriteSolution(const CliqueStore& set, const std::string& path);
+
+/// Read a solution file. Returns Corruption on malformed content (bad
+/// header, wrong arity, non-numeric ids).
+StatusOr<CliqueStore> ReadSolution(const std::string& path);
+
+/// In-memory variants (tests, embedding).
+std::string SolutionToString(const CliqueStore& set);
+StatusOr<CliqueStore> SolutionFromString(const std::string& text);
+
+}  // namespace dkc
+
+#endif  // DKC_IO_SOLUTION_IO_H_

@@ -1,0 +1,156 @@
+#include "matching/matching.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dkc {
+
+MatchingResult GreedyMatching(const Graph& g) {
+  MatchingResult result;
+  result.mate.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (result.mate[u] != kInvalidNode) continue;
+    for (NodeId v : g.Neighbors(u)) {
+      if (result.mate[v] == kInvalidNode && v != u) {
+        result.mate[u] = v;
+        result.mate[v] = u;
+        ++result.size;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Edmonds' blossom algorithm, standard O(n^3) contest-grade formulation:
+// BFS an alternating forest from each free vertex; when two even-level
+// vertices meet, either an augmenting path is found or an odd cycle
+// (blossom) is contracted via the `base` array.
+class Blossom {
+ public:
+  explicit Blossom(const Graph& g)
+      : g_(g), n_(g.num_nodes()), mate_(n_, kInvalidNode) {}
+
+  MatchingResult Run() {
+    for (NodeId u = 0; u < n_; ++u) {
+      if (mate_[u] == kInvalidNode) TryAugment(u);
+    }
+    MatchingResult result;
+    result.mate = mate_;
+    for (NodeId u = 0; u < n_; ++u) {
+      if (mate_[u] != kInvalidNode && u < mate_[u]) ++result.size;
+    }
+    return result;
+  }
+
+ private:
+  NodeId LowestCommonAncestor(NodeId a, NodeId b) {
+    std::vector<bool> used(n_, false);
+    // Walk a's alternating path to the root, marking bases.
+    for (;;) {
+      a = base_[a];
+      used[a] = true;
+      if (mate_[a] == kInvalidNode) break;
+      a = parent_[mate_[a]];
+    }
+    // Walk b's path until hitting a marked base.
+    for (;;) {
+      b = base_[b];
+      if (used[b]) return b;
+      b = parent_[mate_[b]];
+    }
+  }
+
+  void MarkPath(NodeId v, NodeId ancestor, NodeId child) {
+    while (base_[v] != ancestor) {
+      blossom_[base_[v]] = true;
+      blossom_[base_[mate_[v]]] = true;
+      parent_[v] = child;
+      child = mate_[v];
+      v = parent_[mate_[v]];
+    }
+  }
+
+  // One BFS phase. Returns the far endpoint of an augmenting path from
+  // `root`, or kInvalidNode.
+  NodeId FindPath(NodeId root) {
+    used_.assign(n_, false);
+    parent_.assign(n_, kInvalidNode);
+    base_.resize(n_);
+    for (NodeId i = 0; i < n_; ++i) base_[i] = i;
+
+    std::queue<NodeId> queue;
+    queue.push(root);
+    used_[root] = true;
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      for (NodeId to : g_.Neighbors(v)) {
+        if (base_[v] == base_[to] || mate_[v] == to) continue;
+        if (to == root ||
+            (mate_[to] != kInvalidNode && parent_[mate_[to]] != kInvalidNode)) {
+          // Odd cycle: contract the blossom around the LCA.
+          const NodeId ancestor = LowestCommonAncestor(v, to);
+          blossom_.assign(n_, false);
+          MarkPath(v, ancestor, to);
+          MarkPath(to, ancestor, v);
+          for (NodeId i = 0; i < n_; ++i) {
+            if (blossom_[base_[i]]) {
+              base_[i] = ancestor;
+              if (!used_[i]) {
+                used_[i] = true;
+                queue.push(i);
+              }
+            }
+          }
+        } else if (parent_[to] == kInvalidNode) {
+          parent_[to] = v;
+          if (mate_[to] == kInvalidNode) return to;  // augmenting path!
+          used_[mate_[to]] = true;
+          queue.push(mate_[to]);
+        }
+      }
+    }
+    return kInvalidNode;
+  }
+
+  void TryAugment(NodeId root) {
+    const NodeId finish = FindPath(root);
+    if (finish == kInvalidNode) return;
+    // Flip matched/unmatched along the alternating path.
+    NodeId v = finish;
+    while (v != kInvalidNode) {
+      const NodeId pv = parent_[v];
+      const NodeId ppv = mate_[pv];
+      mate_[v] = pv;
+      mate_[pv] = v;
+      v = ppv;
+    }
+  }
+
+  const Graph& g_;
+  NodeId n_;
+  std::vector<NodeId> mate_;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> base_;
+  std::vector<bool> used_;
+  std::vector<bool> blossom_;
+};
+
+}  // namespace
+
+MatchingResult MaximumMatching(const Graph& g) { return Blossom(g).Run(); }
+
+bool IsValidMatching(const Graph& g, const std::vector<NodeId>& mate) {
+  if (mate.size() != g.num_nodes()) return false;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId v = mate[u];
+    if (v == kInvalidNode) continue;
+    if (v >= g.num_nodes() || mate[v] != u || !g.HasEdge(u, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace dkc

@@ -1,0 +1,49 @@
+// Maximum matching in general graphs — the k = 2 boundary of the paper's
+// problem (Related Work: "when k = 2, finding the maximum set of disjoint
+// k-cliques is equivalent to finding the maximum matching in general
+// undirected graphs"). The disjoint-k-clique solvers require k >= 3 and
+// point users here; the exact algorithm is the O(n·m) augmenting-path /
+// blossom-shrinking method of the papers the related-work section cites.
+
+#ifndef DKC_MATCHING_MATCHING_H_
+#define DKC_MATCHING_MATCHING_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dkc {
+
+struct MatchingResult {
+  /// mate[u] == kInvalidNode when u is unmatched.
+  std::vector<NodeId> mate;
+  Count size = 0;  // number of matched pairs
+
+  std::vector<std::pair<NodeId, NodeId>> Edges() const {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId u = 0; u < mate.size(); ++u) {
+      if (mate[u] != kInvalidNode && u < mate[u]) {
+        edges.emplace_back(u, mate[u]);
+      }
+    }
+    return edges;
+  }
+};
+
+/// Greedy maximal matching (scan edges, take whatever fits). 1/2-
+/// approximation — the k=2 analogue of Algorithm 1's first-fit greedy.
+MatchingResult GreedyMatching(const Graph& g);
+
+/// Exact maximum matching in general graphs via Edmonds' blossom algorithm
+/// (O(n^3) implementation; the k=2 analogue of OPT). Handles odd cycles,
+/// so it is correct on non-bipartite graphs.
+MatchingResult MaximumMatching(const Graph& g);
+
+/// True iff `mate` encodes a valid matching of `g` (symmetric, edges
+/// exist, no node matched twice).
+bool IsValidMatching(const Graph& g, const std::vector<NodeId>& mate);
+
+}  // namespace dkc
+
+#endif  // DKC_MATCHING_MATCHING_H_

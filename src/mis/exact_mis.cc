@@ -1,0 +1,209 @@
+#include "mis/exact_mis.h"
+
+#include <algorithm>
+
+#include "mis/greedy_mis.h"
+
+namespace dkc {
+namespace {
+
+class Solver {
+ public:
+  Solver(const std::vector<std::vector<uint32_t>>& adj,
+         const Deadline& deadline)
+      : adj_(adj), deadline_(deadline), n_(static_cast<uint32_t>(adj.size())) {
+    state_.assign(n_, kFree);
+    degree_.resize(n_);
+    for (uint32_t v = 0; v < n_; ++v) {
+      degree_[v] = static_cast<uint32_t>(adj_[v].size());
+    }
+  }
+
+  StatusOr<ExactMisResult> Run() {
+    ExactMisResult result;
+    bool seed_expired = false;
+    best_ = GreedyMinDegreeMis(adj_, deadline_, &seed_expired);
+    if (seed_expired) return Status::TimeBudgetExceeded("exact MIS seeding");
+    Recurse();
+    if (oot_) return Status::TimeBudgetExceeded("exact MIS search");
+    result.vertices = best_;
+    result.branch_nodes = branch_nodes_;
+    return result;
+  }
+
+ private:
+  enum : uint8_t { kFree, kTaken, kRemoved };
+
+  // A trail entry: vertex whose state flipped away from kFree. Degrees of
+  // free neighbors were decremented at flip time and are restored on undo.
+  struct Trail {
+    std::vector<uint32_t> flipped;
+  };
+
+  void SetState(uint32_t v, uint8_t to, Trail* trail) {
+    state_[v] = to;
+    trail->flipped.push_back(v);
+    for (uint32_t w : adj_[v]) {
+      if (state_[w] == kFree) --degree_[w];
+    }
+  }
+
+  void Undo(const Trail& trail) {
+    // Reverse order so intermediate degree values replay exactly.
+    for (auto it = trail.flipped.rbegin(); it != trail.flipped.rend(); ++it) {
+      const uint32_t v = *it;
+      state_[v] = kFree;
+      for (uint32_t w : adj_[v]) {
+        if (state_[w] == kFree) ++degree_[w];
+      }
+    }
+  }
+
+  // Take v into the solution: v leaves free as kTaken, free neighbors leave
+  // as kRemoved.
+  void Take(uint32_t v, Trail* trail) {
+    SetState(v, kTaken, trail);
+    current_.push_back(v);
+    for (uint32_t w : adj_[v]) {
+      if (state_[w] == kFree) SetState(w, kRemoved, trail);
+    }
+  }
+
+  // Exhaustively apply degree-0 / degree-1 reductions plus dominance. All
+  // are safe for *maximum* IS: an isolated free vertex is always in some
+  // optimum; for a pendant v-w some optimum contains v (swap argument); and
+  // if adjacent u,v satisfy N[v] ⊆ N[u] then some optimum avoids u (replace
+  // u by v — v's surviving neighbors are a subset of u's).
+  void Reduce(Trail* trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (uint32_t v = 0; v < n_; ++v) {
+        if (state_[v] != kFree) continue;
+        if (degree_[v] <= 1) {
+          Take(v, trail);
+          changed = true;
+        }
+      }
+      if (!changed) changed = ReduceDominance(trail);
+    }
+  }
+
+  // One dominance pass. Returns true if any vertex was excluded.
+  bool ReduceDominance(Trail* trail) {
+    bool changed = false;
+    for (uint32_t u = 0; u < n_; ++u) {
+      if (state_[u] != kFree) continue;
+      for (uint32_t v : adj_[u]) {
+        if (state_[v] != kFree || degree_[v] > degree_[u]) continue;
+        // Does every free neighbor of v (other than u) neighbor u?
+        bool dominated = true;
+        for (uint32_t w : adj_[v]) {
+          if (w == u || state_[w] != kFree) continue;
+          if (!std::binary_search(adj_[u].begin(), adj_[u].end(), w)) {
+            dominated = false;
+            break;
+          }
+        }
+        if (dominated) {  // N[v] ⊆ N[u]: exclude u
+          SetState(u, kRemoved, trail);
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+
+  // Greedy clique cover of the free subgraph; an IS has at most one vertex
+  // per clique, so the count bounds what remains attainable.
+  uint32_t CliqueCoverBound() {
+    cover_cliques_.clear();
+    uint32_t cliques = 0;
+    for (uint32_t v = 0; v < n_; ++v) {
+      if (state_[v] != kFree) continue;
+      bool placed = false;
+      for (auto& clique : cover_cliques_) {
+        bool adjacent_to_all = true;
+        for (uint32_t member : clique) {
+          if (!std::binary_search(adj_[v].begin(), adj_[v].end(), member)) {
+            adjacent_to_all = false;
+            break;
+          }
+        }
+        if (adjacent_to_all) {
+          clique.push_back(v);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        cover_cliques_.push_back({v});
+        ++cliques;
+      }
+    }
+    return cliques;
+  }
+
+  void Recurse() {
+    if (oot_) return;
+    if ((++branch_nodes_ & 0x3F) == 0 && deadline_.Expired()) {
+      oot_ = true;
+      return;
+    }
+    Trail trail;
+    const size_t current_mark = current_.size();
+    Reduce(&trail);
+
+    // Branch vertex: max current degree.
+    uint32_t pivot = UINT32_MAX;
+    uint32_t pivot_degree = 0;
+    for (uint32_t v = 0; v < n_; ++v) {
+      if (state_[v] == kFree &&
+          (pivot == UINT32_MAX || degree_[v] > pivot_degree)) {
+        pivot = v;
+        pivot_degree = degree_[v];
+      }
+    }
+    if (pivot == UINT32_MAX) {  // no free vertex: leaf
+      if (current_.size() > best_.size()) best_ = current_;
+    } else if (current_.size() + CliqueCoverBound() > best_.size()) {
+      {  // include pivot
+        Trail branch;
+        Take(pivot, &branch);  // pushes exactly pivot onto current_
+        Recurse();
+        current_.pop_back();
+        Undo(branch);
+      }
+      if (!oot_) {  // exclude pivot
+        Trail branch;
+        SetState(pivot, kRemoved, &branch);
+        Recurse();
+        Undo(branch);
+      }
+    }
+
+    current_.resize(current_mark);
+    Undo(trail);
+  }
+
+  const std::vector<std::vector<uint32_t>>& adj_;
+  Deadline deadline_;
+  uint32_t n_;
+  std::vector<uint8_t> state_;
+  std::vector<uint32_t> degree_;
+  std::vector<uint32_t> current_;
+  std::vector<uint32_t> best_;
+  std::vector<std::vector<uint32_t>> cover_cliques_;
+  uint64_t branch_nodes_ = 0;
+  bool oot_ = false;
+};
+
+}  // namespace
+
+StatusOr<ExactMisResult> ExactMis(
+    const std::vector<std::vector<uint32_t>>& adj, const Deadline& deadline) {
+  return Solver(adj, deadline).Run();
+}
+
+}  // namespace dkc

@@ -1,0 +1,45 @@
+// Exact maximum independent set by branch-and-reduce.
+//
+// Stands in for the Akiba–Iwata vertex-cover solver [42] the paper uses for
+// its OPT baseline: same role (exact optimum on the clique graph), same
+// overall architecture (reductions + branching + bounds), deliberately
+// smaller reduction set. The solver is budgeted: it answers OOT via Status
+// when the deadline expires, which is how the paper's Tables II/IV report
+// OPT on anything but tiny graphs.
+//
+// Techniques:
+//   * reductions: isolated vertices (take), degree-1 pendants (take),
+//     dominance (exclude u when an adjacent v has N[v] ⊆ N[u]),
+//     applied exhaustively at every branch node;
+//   * lower bound seeded with the greedy min-degree solution;
+//   * upper bound: |chosen| + greedy clique cover of the free subgraph (an
+//     independent set contains at most one vertex per cover clique);
+//   * branching: max-degree free vertex, include-branch first.
+
+#ifndef DKC_MIS_EXACT_MIS_H_
+#define DKC_MIS_EXACT_MIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace dkc {
+
+struct ExactMisResult {
+  std::vector<uint32_t> vertices;  // a maximum independent set
+  uint64_t branch_nodes = 0;       // search-tree size, for tests/benches
+};
+
+/// Computes a maximum independent set of the (symmetric, simple) adjacency
+/// structure. Adjacency lists must be sorted ascending (the dominance
+/// reduction binary-searches them). Returns Status::TimeBudgetExceeded
+/// (OOT) if the deadline expires before the search completes.
+StatusOr<ExactMisResult> ExactMis(
+    const std::vector<std::vector<uint32_t>>& adj,
+    const Deadline& deadline = Deadline::Unlimited());
+
+}  // namespace dkc
+
+#endif  // DKC_MIS_EXACT_MIS_H_

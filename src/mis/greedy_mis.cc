@@ -1,0 +1,49 @@
+#include "mis/greedy_mis.h"
+
+#include <queue>
+#include <utility>
+
+namespace dkc {
+
+std::vector<uint32_t> GreedyMinDegreeMis(
+    const std::vector<std::vector<uint32_t>>& adj, const Deadline& deadline,
+    bool* expired) {
+  if (expired != nullptr) *expired = false;
+  const uint32_t n = static_cast<uint32_t>(adj.size());
+  std::vector<uint32_t> degree(n);
+  // Lazy min-heap: stale (degree, v) entries are skipped on pop. Simpler
+  // than a bucket queue and the heap never exceeds n + m entries.
+  using Entry = std::pair<uint32_t, uint32_t>;  // (degree, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (uint32_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(adj[v].size());
+    heap.emplace(degree[v], v);
+  }
+
+  enum : uint8_t { kFree, kTaken, kRemoved };
+  std::vector<uint8_t> state(n, kFree);
+  std::vector<uint32_t> result;
+  uint64_t steps = 0;
+  while (!heap.empty()) {
+    if ((++steps & 0x3FF) == 0 && deadline.Expired()) {
+      if (expired != nullptr) *expired = true;
+      return result;
+    }
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (state[v] != kFree || d != degree[v]) continue;  // stale or settled
+    state[v] = kTaken;
+    result.push_back(v);
+    for (uint32_t w : adj[v]) {
+      if (state[w] != kFree) continue;
+      state[w] = kRemoved;
+      for (uint32_t x : adj[w]) {
+        if (state[x] != kFree) continue;
+        heap.emplace(--degree[x], x);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dkc

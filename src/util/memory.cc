@@ -1,0 +1,33 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dkc {
+namespace {
+
+// Parses a "VmRSS:   123 kB" style line from /proc/self/status.
+int64_t ReadProcStatusKb(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      long long value = 0;
+      if (std::sscanf(line + key_len, " %lld", &value) == 1) kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+int64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS:") * 1024; }
+
+int64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM:") * 1024; }
+
+}  // namespace dkc

@@ -1,0 +1,70 @@
+// Process- and structure-level memory accounting.
+//
+// The paper's Table III reports per-algorithm space consumption in MB; OPT
+// and GC blow up because they materialize the clique (or clique-graph)
+// structures. We reproduce that with two complementary mechanisms:
+//   * process peak RSS from /proc/self/status (ground truth, Linux only);
+//   * a cooperative `MemoryBudget` that solvers charge for their dominant
+//     allocations (clique stores, clique-graph adjacency) so they can abort
+//     with the paper's OOM semantics long before the machine swaps.
+
+#ifndef DKC_UTIL_MEMORY_H_
+#define DKC_UTIL_MEMORY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace dkc {
+
+/// Current resident set size of this process in bytes, 0 if unavailable.
+int64_t CurrentRssBytes();
+
+/// Peak resident set size of this process in bytes, 0 if unavailable.
+int64_t PeakRssBytes();
+
+/// Cooperative memory budget shared by the data structures of one solver run.
+///
+/// `Charge()` returns false when the cumulative charge would exceed the
+/// limit; callers translate that into Status::MemoryBudgetExceeded (the
+/// paper's OOM). A zero limit means unlimited.
+class MemoryBudget {
+ public:
+  MemoryBudget() = default;
+  explicit MemoryBudget(int64_t limit_bytes) : limit_bytes_(limit_bytes) {}
+
+  /// Try to reserve `bytes` more. Returns false iff the budget is exceeded
+  /// (the charge is still recorded so `used_bytes()` reflects the attempt).
+  bool Charge(int64_t bytes) {
+    int64_t now = used_bytes_.fetch_add(bytes, std::memory_order_relaxed) +
+                  bytes;
+    int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_bytes_.compare_exchange_weak(peak, now,
+                                              std::memory_order_relaxed)) {
+    }
+    return limit_bytes_ == 0 || now <= limit_bytes_;
+  }
+
+  void Release(int64_t bytes) {
+    used_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t used_bytes() const {
+    return used_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t limit_bytes() const { return limit_bytes_; }
+  bool unlimited() const { return limit_bytes_ == 0; }
+
+ private:
+  int64_t limit_bytes_ = 0;  // 0 = unlimited
+  std::atomic<int64_t> used_bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+};
+
+}  // namespace dkc
+
+#endif  // DKC_UTIL_MEMORY_H_

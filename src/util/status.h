@@ -1,0 +1,165 @@
+// Status / StatusOr error handling in the RocksDB style: library code never
+// throws across the public API; fallible operations return a Status (or a
+// StatusOr<T> carrying a value), and callers decide how to react.
+
+#ifndef DKC_UTIL_STATUS_H_
+#define DKC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dkc {
+
+/// Outcome of a fallible library operation.
+///
+/// Subcodes `kTimeBudgetExceeded` / `kMemoryBudgetExceeded` carry the paper's
+/// OOT/OOM semantics (Section VI reports runs exceeding 24h as OOT and runs
+/// exceeding the machine memory as OOM); benchmark harnesses render them as
+/// the corresponding table cells.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,      // malformed input data (e.g. bad edge-list line)
+    kIOError,
+    kAborted,         // budget exceeded; see Subcode
+    kNotSupported,
+    kInternal,
+  };
+
+  enum class Subcode {
+    kNone = 0,
+    kTimeBudgetExceeded,    // "OOT" in the paper's tables
+    kMemoryBudgetExceeded,  // "OOM" in the paper's tables
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status TimeBudgetExceeded(std::string msg = "time budget exceeded") {
+    return Status(Code::kAborted, std::move(msg), Subcode::kTimeBudgetExceeded);
+  }
+  static Status MemoryBudgetExceeded(
+      std::string msg = "memory budget exceeded") {
+    return Status(Code::kAborted, std::move(msg),
+                  Subcode::kMemoryBudgetExceeded);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  Subcode subcode() const { return subcode_; }
+  bool IsTimeBudgetExceeded() const {
+    return subcode_ == Subcode::kTimeBudgetExceeded;
+  }
+  bool IsMemoryBudgetExceeded() const {
+    return subcode_ == Subcode::kMemoryBudgetExceeded;
+  }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k must be >= 3".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = CodeName(code_);
+    if (subcode_ == Subcode::kTimeBudgetExceeded) out += " (OOT)";
+    if (subcode_ == Subcode::kMemoryBudgetExceeded) out += " (OOM)";
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.subcode_ == b.subcode_;
+  }
+
+ private:
+  explicit Status(Code code, std::string msg = "",
+                  Subcode subcode = Subcode::kNone)
+      : code_(code), subcode_(subcode), message_(std::move(msg)) {}
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kCorruption: return "Corruption";
+      case Code::kIOError: return "IOError";
+      case Code::kAborted: return "Aborted";
+      case Code::kNotSupported: return "NotSupported";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_ = Code::kOk;
+  Subcode subcode_ = Subcode::kNone;
+  std::string message_;
+};
+
+/// A Status plus a value on success. Minimal absl::StatusOr work-alike.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dkc
+
+/// Propagate a non-OK Status to the caller (RocksDB/Arrow idiom).
+#define DKC_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::dkc::Status _dkc_status = (expr);           \
+    if (!_dkc_status.ok()) return _dkc_status;    \
+  } while (false)
+
+#endif  // DKC_UTIL_STATUS_H_

@@ -1,0 +1,62 @@
+// Monotonic wall-clock timing helpers used by solvers (time budgets) and by
+// the benchmark harnesses (reported runtimes).
+
+#ifndef DKC_UTIL_TIMER_H_
+#define DKC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dkc {
+
+/// Wall-clock stopwatch. Started on construction; `Restart()` resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock deadline. `unlimited()` never expires.
+class Deadline {
+ public:
+  /// No limit.
+  static Deadline Unlimited() { return Deadline(); }
+
+  /// Expires `millis` from now. Non-positive budgets expire immediately.
+  static Deadline AfterMillis(double millis) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.deadline_ =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(millis));
+    return d;
+  }
+
+  bool Expired() const { return !unlimited_ && Clock::now() >= deadline_; }
+  bool unlimited() const { return unlimited_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool unlimited_ = true;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace dkc
+
+#endif  // DKC_UTIL_TIMER_H_

@@ -1,0 +1,153 @@
+#include "core/basic_framework.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/verify.h"
+#include "gen/named_graphs.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+TEST(BasicFrameworkTest, RejectsKBelow3) {
+  BasicOptions options;
+  options.k = 2;
+  auto result = SolveBasic(PaperFig2Graph(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(BasicFrameworkTest, EmptyGraphYieldsEmptySet) {
+  BasicOptions options;
+  options.k = 3;
+  auto result = SolveBasic(Graph(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST(BasicFrameworkTest, PaperExample2Trace) {
+  // Example 2 setting: identity ordering on the Fig. 2 graph. The paper's
+  // walkthrough happens to pick (v6,v5,v3) at root v6 and ends with |S|=2;
+  // FindOne's tie-break is unspecified there. Our DFS visits N+(u) in
+  // ascending node id, so root v6 yields (v6,v3,v1), after which (v8,v7,v5)
+  // and (v9,v2,v4) are found — a maximum packing of size 3. Lock the trace.
+  Graph g = PaperFig2Graph();
+  BasicOptions options;
+  options.k = 3;
+  options.order = NodeOrderKind::kIdentity;
+  auto result = SolveBasic(g, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  std::vector<std::vector<NodeId>> cliques;
+  for (CliqueId c = 0; c < result->set.size(); ++c) {
+    auto nodes = result->set.Get(c);
+    cliques.emplace_back(nodes.begin(), nodes.end());
+  }
+  auto canonical = testing::Canonicalize(cliques);
+  EXPECT_TRUE(canonical.count({0, 2, 5}));  // v1, v3, v6
+  EXPECT_TRUE(canonical.count({4, 6, 7}));  // v5, v7, v8
+  EXPECT_TRUE(canonical.count({1, 3, 8}));  // v2, v4, v9
+}
+
+TEST(BasicFrameworkTest, TriangleFreeGraphYieldsNothing) {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 4; v < 8; ++v) b.AddEdge(u, v);
+  }
+  BasicOptions options;
+  options.k = 3;
+  auto result = SolveBasic(b.Build(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST(BasicFrameworkTest, RecoversPlantedPackingExactly) {
+  PlantedCliqueSpec spec;
+  spec.num_cliques = 8;
+  spec.k = 4;
+  spec.filler_nodes = 30;
+  Rng rng(70);
+  auto planted = PlantedCliques(spec, rng);
+  ASSERT_TRUE(planted.ok());
+  BasicOptions options;
+  options.k = 4;
+  auto result = SolveBasic(planted->graph, options);
+  ASSERT_TRUE(result.ok());
+  // Planted cliques are disjoint and the filler is clique-free, so even the
+  // greedy framework must find all of them.
+  EXPECT_EQ(result->size(), planted->planted_count);
+  EXPECT_TRUE(VerifySolution(planted->graph, result->set).ok());
+}
+
+TEST(BasicFrameworkTest, ExpiredBudgetIsOot) {
+  Graph g = testing::RandomGraph(300, 0.2, /*seed=*/71);
+  BasicOptions options;
+  options.k = 4;
+  options.budget.time_ms = 0.000001;
+  auto result = SolveBasic(g, options);
+  // With a sub-microsecond budget the deadline check must fire.
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeBudgetExceeded());
+}
+
+TEST(BasicFrameworkTest, StatsArePopulated) {
+  Graph g = testing::RandomGraph(100, 0.2, /*seed=*/72);
+  BasicOptions options;
+  options.k = 3;
+  auto result = SolveBasic(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->stats.init_ms, 0.0);
+  EXPECT_GE(result->stats.compute_ms, 0.0);
+  EXPECT_GT(result->stats.structure_bytes, 0);
+}
+
+// Property: for any graph, ordering, and k, the output is a valid maximal
+// disjoint k-clique set (maximality is what Theorem 3's k-approximation
+// rests on).
+class BasicFrameworkSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, double, int, NodeOrderKind>> {};
+
+TEST_P(BasicFrameworkSweep, OutputIsValidAndMaximal) {
+  const auto [n, p, k, order] = GetParam();
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Graph g = testing::RandomGraph(static_cast<NodeId>(n), p,
+                                   seed * 37 + n + k);
+    BasicOptions options;
+    options.k = k;
+    options.order = order;
+    auto result = SolveBasic(g, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(VerifySolution(g, result->set).ok())
+        << VerifySolution(g, result->set).ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BasicFrameworkSweep,
+    ::testing::Combine(::testing::Values(20, 40), ::testing::Values(0.2, 0.4),
+                       ::testing::Values(3, 4, 5),
+                       ::testing::Values(NodeOrderKind::kIdentity,
+                                         NodeOrderKind::kDegree,
+                                         NodeOrderKind::kDegeneracy)));
+
+TEST(BasicFrameworkTest, KApproximationHolds) {
+  // Theorem 3: |OPT| <= k * |S| for any maximal S.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = testing::RandomGraph(18, 0.45, seed + 700);
+    const int k = 3;
+    BasicOptions options;
+    options.k = k;
+    auto result = SolveBasic(g, options);
+    ASSERT_TRUE(result.ok());
+    const size_t optimal = testing::BruteForceMaxDisjointPacking(g, k);
+    EXPECT_LE(optimal, static_cast<size_t>(k) * result->size() +
+                           (optimal == 0 ? 0 : 0));
+    if (optimal > 0) EXPECT_GE(result->size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dkc

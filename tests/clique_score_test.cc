@@ -1,0 +1,112 @@
+#include "core/clique_score.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clique/clique_graph.h"
+#include "clique/kclique.h"
+#include "gen/named_graphs.h"
+#include "graph/ordering.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+TEST(CliqueScoreTest, SumsNodeScores) {
+  std::vector<Count> node_scores = {3, 0, 5, 1};
+  std::vector<NodeId> clique = {0, 2, 3};
+  EXPECT_EQ(CliqueScoreOf(clique, node_scores), 9u);
+}
+
+TEST(CliqueScoreTest, PaperExampleC3Score) {
+  // Example 3: s_c(C3) = s_n(v5) + s_n(v6) + s_n(v8) = 9.
+  Graph g = PaperFig2Graph();
+  Dag dag(g, DegeneracyOrdering(g));
+  NodeScores scores = ComputeNodeScores(dag, 3);
+  std::vector<NodeId> c3 = {4, 5, 7};  // v5, v6, v8 zero-based
+  EXPECT_EQ(CliqueScoreOf(c3, scores.per_node), 9u);
+}
+
+TEST(TheoremTwoTest, BoundsFormula) {
+  auto b = TheoremTwoBounds(9, 3);
+  EXPECT_EQ(b.upper, 6u);            // s_c - k
+  EXPECT_DOUBLE_EQ(b.lower, 3.0);    // (s_c - k)/(k-1)
+}
+
+TEST(TheoremTwoTest, MinimumScoreCliqueHasZeroBounds) {
+  // An isolated clique: every node has score 1, s_c = k, degree = 0.
+  auto b = TheoremTwoBounds(4, 4);
+  EXPECT_EQ(b.upper, 0u);
+  EXPECT_DOUBLE_EQ(b.lower, 0.0);
+}
+
+TEST(TheoremTwoTest, DegenerateScoreBelowKClamps) {
+  auto b = TheoremTwoBounds(2, 3);
+  EXPECT_EQ(b.upper, 0u);
+  EXPECT_DOUBLE_EQ(b.lower, 0.0);
+}
+
+// Theorem 2 must hold for every clique of real graphs: build the actual
+// clique graph, measure true degrees, compare against the score bounds.
+class TheoremTwoSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(TheoremTwoSweep, BoundsHoldOnRandomGraphs) {
+  const auto [n, p, k] = GetParam();
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Graph g = testing::RandomGraph(static_cast<NodeId>(n), p,
+                                   seed * 613 + n * k);
+    Dag dag(g, DegeneracyOrdering(g));
+    NodeScores scores = ComputeNodeScores(dag, k);
+
+    CliqueStore store(k);
+    KCliqueEnumerator enumerator(dag, k);
+    enumerator.ForEach([&](std::span<const NodeId> nodes) {
+      store.Add(nodes);
+      return true;
+    });
+    auto cg = CliqueGraph::Build(store, g.num_nodes());
+    ASSERT_TRUE(cg.ok());
+
+    for (CliqueId c = 0; c < store.size(); ++c) {
+      const Count score = CliqueScoreOf(store.Get(c), scores.per_node);
+      const auto bounds = TheoremTwoBounds(score, k);
+      const Count degree = cg->Degree(c);
+      EXPECT_LE(static_cast<double>(bounds.lower) - 1e-9,
+                static_cast<double>(degree))
+          << "lower bound violated, clique " << c << " k=" << k;
+      EXPECT_LE(degree, bounds.upper)
+          << "upper bound violated, clique " << c << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TheoremTwoSweep,
+    ::testing::Combine(::testing::Values(15, 22),
+                       ::testing::Values(0.3, 0.5),
+                       ::testing::Values(3, 4, 5)));
+
+TEST(TheoremTwoTest, PaperFig3DegreesWithinBounds) {
+  Graph g = PaperFig2Graph();
+  Dag dag(g, DegeneracyOrdering(g));
+  NodeScores scores = ComputeNodeScores(dag, 3);
+  CliqueStore store(3);
+  KCliqueEnumerator enumerator(dag, 3);
+  enumerator.ForEach([&](std::span<const NodeId> nodes) {
+    store.Add(nodes);
+    return true;
+  });
+  auto cg = CliqueGraph::Build(store, g.num_nodes());
+  ASSERT_TRUE(cg.ok());
+  for (CliqueId c = 0; c < store.size(); ++c) {
+    const auto bounds =
+        TheoremTwoBounds(CliqueScoreOf(store.Get(c), scores.per_node), 3);
+    EXPECT_GE(static_cast<double>(cg->Degree(c)), bounds.lower - 1e-9);
+    EXPECT_LE(cg->Degree(c), bounds.upper);
+  }
+}
+
+}  // namespace
+}  // namespace dkc

@@ -1,0 +1,134 @@
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+TEST(DynamicGraphTest, EmptyOverN) {
+  DynamicGraph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DynamicGraphTest, InsertAndQuery) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.InsertEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(DynamicGraphTest, DuplicateInsertRejected) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.InsertEdge(0, 1));
+  EXPECT_FALSE(g.InsertEdge(0, 1));
+  EXPECT_FALSE(g.InsertEdge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DynamicGraphTest, SelfLoopRejected) {
+  DynamicGraph g(3);
+  EXPECT_FALSE(g.InsertEdge(1, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DynamicGraphTest, InsertGrowsNodeSet) {
+  DynamicGraph g(2);
+  EXPECT_TRUE(g.InsertEdge(0, 7));
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_TRUE(g.HasEdge(7, 0));
+}
+
+TEST(DynamicGraphTest, DeleteExisting) {
+  DynamicGraph g(3);
+  g.InsertEdge(0, 1);
+  g.InsertEdge(1, 2);
+  EXPECT_TRUE(g.DeleteEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DynamicGraphTest, DeleteMissingFails) {
+  DynamicGraph g(3);
+  g.InsertEdge(0, 1);
+  EXPECT_FALSE(g.DeleteEdge(0, 2));
+  EXPECT_FALSE(g.DeleteEdge(0, 99));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DynamicGraphTest, ReinsertAfterDelete) {
+  DynamicGraph g(3);
+  g.InsertEdge(0, 1);
+  g.DeleteEdge(0, 1);
+  EXPECT_TRUE(g.InsertEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(DynamicGraphTest, FromStaticSnapshotPreservesEverything) {
+  Graph base = testing::RandomGraph(40, 0.2, /*seed=*/30);
+  DynamicGraph g(base);
+  EXPECT_EQ(g.num_nodes(), base.num_nodes());
+  EXPECT_EQ(g.num_edges(), base.num_edges());
+  for (NodeId u = 0; u < base.num_nodes(); ++u) {
+    for (NodeId v : base.Neighbors(u)) EXPECT_TRUE(g.HasEdge(u, v));
+  }
+}
+
+TEST(DynamicGraphTest, ToGraphRoundTrip) {
+  Graph base = testing::RandomGraph(30, 0.25, /*seed=*/31);
+  DynamicGraph g(base);
+  Graph back = g.ToGraph();
+  ASSERT_EQ(back.num_nodes(), base.num_nodes());
+  ASSERT_EQ(back.num_edges(), base.num_edges());
+  for (NodeId u = 0; u < base.num_nodes(); ++u) {
+    auto a = base.Neighbors(u);
+    auto b = back.Neighbors(u);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(DynamicGraphTest, NeighborListsStaySorted) {
+  DynamicGraph g(10);
+  Rng rng(32);
+  for (int i = 0; i < 60; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(10));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(10));
+    if (u != v) g.InsertEdge(u, v);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+TEST(DynamicGraphTest, RandomChurnMatchesReferenceSet) {
+  DynamicGraph g(20);
+  std::set<std::pair<NodeId, NodeId>> reference;
+  Rng rng(33);
+  for (int i = 0; i < 500; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(20));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(20));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (rng.NextBool(0.6)) {
+      EXPECT_EQ(g.InsertEdge(u, v), reference.insert({u, v}).second);
+    } else {
+      EXPECT_EQ(g.DeleteEdge(u, v), reference.erase({u, v}) > 0);
+    }
+    EXPECT_EQ(g.num_edges(), reference.size());
+  }
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = u + 1; v < 20; ++v) {
+      EXPECT_EQ(g.HasEdge(u, v), reference.count({u, v}) > 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dkc

@@ -1,0 +1,266 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/named_graphs.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+// ------------------------------------------------------- Watts-Strogatz
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(1);
+  auto g = WattsStrogatz(20, 4, 0.0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 20u);
+  EXPECT_EQ(g->num_edges(), 40u);  // n * degree / 2
+  for (NodeId u = 0; u < 20; ++u) {
+    EXPECT_EQ(g->Degree(u), 4u);
+    EXPECT_TRUE(g->HasEdge(u, (u + 1) % 20));
+    EXPECT_TRUE(g->HasEdge(u, (u + 2) % 20));
+  }
+}
+
+TEST(WattsStrogatzTest, RingLatticeIsTriangleRich) {
+  Rng rng(2);
+  auto g = WattsStrogatz(30, 6, 0.0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(testing::BruteForceKCliques(*g, 3).size(), 0u);
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsEdgeCountClose) {
+  Rng rng(3);
+  auto g = WattsStrogatz(200, 8, 0.2, rng);
+  ASSERT_TRUE(g.ok());
+  // Rewiring can only lose edges to collisions; losses are few.
+  EXPECT_LE(g->num_edges(), 800u);
+  EXPECT_GE(g->num_edges(), 750u);
+}
+
+TEST(WattsStrogatzTest, OddDegreeRejected) {
+  Rng rng(4);
+  EXPECT_FALSE(WattsStrogatz(10, 3, 0.1, rng).ok());
+}
+
+TEST(WattsStrogatzTest, DegreeGeNRejected) {
+  Rng rng(5);
+  EXPECT_FALSE(WattsStrogatz(10, 10, 0.1, rng).ok());
+}
+
+TEST(WattsStrogatzTest, BadBetaRejected) {
+  Rng rng(6);
+  EXPECT_FALSE(WattsStrogatz(10, 4, -0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 4, 1.5, rng).ok());
+}
+
+TEST(WattsStrogatzTest, DeterministicPerSeed) {
+  Rng rng1(7), rng2(7);
+  auto a = WattsStrogatz(50, 6, 0.3, rng1);
+  auto b = WattsStrogatz(50, 6, 0.3, rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+  for (NodeId u = 0; u < 50; ++u) EXPECT_EQ(a->Degree(u), b->Degree(u));
+}
+
+// --------------------------------------------------------- Erdos-Renyi
+TEST(ErdosRenyiTest, PZeroIsEmpty) {
+  Rng rng(10);
+  auto g = ErdosRenyi(50, 0.0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 50u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, POneIsComplete) {
+  Rng rng(11);
+  auto g = ErdosRenyi(20, 1.0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 20u * 19 / 2);
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(12);
+  auto g = ErdosRenyi(300, 0.1, rng);
+  ASSERT_TRUE(g.ok());
+  const double expected = 0.1 * 300 * 299 / 2;
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), expected, expected * 0.15);
+}
+
+TEST(ErdosRenyiTest, BadPRejected) {
+  Rng rng(13);
+  EXPECT_FALSE(ErdosRenyi(10, -0.5, rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.5, rng).ok());
+}
+
+TEST(ErdosRenyiTest, SingleNode) {
+  Rng rng(14);
+  auto g = ErdosRenyi(1, 0.5, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 1u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+// ----------------------------------------------------- Barabasi-Albert
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  Rng rng(20);
+  const NodeId n = 100;
+  const Count attach = 3;
+  auto g = BarabasiAlbert(n, attach, rng);
+  ASSERT_TRUE(g.ok());
+  // Seed clique of attach+1 nodes, then attach edges per new node.
+  const Count expected =
+      (attach + 1) * attach / 2 + (n - attach - 1) * attach;
+  EXPECT_EQ(g->num_edges(), expected);
+}
+
+TEST(BarabasiAlbertTest, HeavyTail) {
+  Rng rng(21);
+  auto g = BarabasiAlbert(500, 2, rng);
+  ASSERT_TRUE(g.ok());
+  // Preferential attachment: max degree far above the mean.
+  const double mean = 2.0 * g->num_edges() / g->num_nodes();
+  EXPECT_GT(static_cast<double>(g->MaxDegree()), 3 * mean);
+}
+
+TEST(BarabasiAlbertTest, InvalidParamsRejected) {
+  Rng rng(22);
+  EXPECT_FALSE(BarabasiAlbert(5, 0, rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(3, 3, rng).ok());
+}
+
+// ----------------------------------------------------- Planted cliques
+TEST(PlantedCliquesTest, PlantedPackingIsExactOptimum) {
+  PlantedCliqueSpec spec;
+  spec.num_cliques = 5;
+  spec.k = 3;
+  spec.filler_nodes = 20;
+  spec.noise_p = 0.0;
+  Rng rng(30);
+  auto planted = PlantedCliques(spec, rng);
+  ASSERT_TRUE(planted.ok());
+  EXPECT_EQ(planted->planted_count, 5u);
+  EXPECT_EQ(testing::BruteForceMaxDisjointPacking(planted->graph, 3), 5u);
+}
+
+TEST(PlantedCliquesTest, FillerIsCliqueFree) {
+  PlantedCliqueSpec spec;
+  spec.num_cliques = 0;
+  spec.k = 4;
+  spec.filler_nodes = 40;
+  Rng rng(31);
+  auto planted = PlantedCliques(spec, rng);
+  ASSERT_TRUE(planted.ok());
+  EXPECT_TRUE(testing::BruteForceKCliques(planted->graph, 3).empty());
+}
+
+TEST(PlantedCliquesTest, ShuffleKeepsOptimum) {
+  PlantedCliqueSpec spec;
+  spec.num_cliques = 4;
+  spec.k = 4;
+  spec.filler_nodes = 10;
+  spec.shuffle_ids = true;
+  Rng rng(32);
+  auto planted = PlantedCliques(spec, rng);
+  ASSERT_TRUE(planted.ok());
+  EXPECT_EQ(testing::BruteForceMaxDisjointPacking(planted->graph, 4), 4u);
+}
+
+TEST(PlantedCliquesTest, KBelow3Rejected) {
+  PlantedCliqueSpec spec;
+  spec.k = 2;
+  Rng rng(33);
+  EXPECT_FALSE(PlantedCliques(spec, rng).ok());
+}
+
+// -------------------------------------------------- Planted partition
+TEST(PlantedPartitionTest, ShapeAndDensityContrast) {
+  PlantedPartitionSpec spec;
+  spec.num_communities = 10;
+  spec.community_size = 20;
+  spec.p_in = 0.5;
+  spec.p_out = 0.005;
+  Rng rng(40);
+  auto g = PlantedPartition(spec, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 200u);
+  // Count intra vs inter edges; intra must dominate despite fewer pairs.
+  Count intra = 0, inter = 0;
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    for (NodeId v : g->Neighbors(u)) {
+      if (u < v) (u / 20 == v / 20 ? intra : inter) += 1;
+    }
+  }
+  EXPECT_GT(intra, 10 * inter);
+}
+
+TEST(PlantedPartitionTest, ZeroCrossProbabilityDisconnectsBlocks) {
+  PlantedPartitionSpec spec;
+  spec.num_communities = 4;
+  spec.community_size = 10;
+  spec.p_in = 0.8;
+  spec.p_out = 0.0;
+  Rng rng(41);
+  auto g = PlantedPartition(spec, rng);
+  ASSERT_TRUE(g.ok());
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    for (NodeId v : g->Neighbors(u)) {
+      EXPECT_EQ(u / 10, v / 10) << "cross edge " << u << "-" << v;
+    }
+  }
+}
+
+TEST(PlantedPartitionTest, BadProbabilityRejected) {
+  PlantedPartitionSpec spec;
+  spec.p_in = 1.5;
+  Rng rng(42);
+  EXPECT_FALSE(PlantedPartition(spec, rng).ok());
+}
+
+TEST(PlantedPartitionTest, CommunitiesAreCliqueRich) {
+  PlantedPartitionSpec spec;
+  spec.num_communities = 5;
+  spec.community_size = 12;
+  spec.p_in = 0.7;
+  spec.p_out = 0.0;
+  Rng rng(43);
+  auto g = PlantedPartition(spec, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(testing::BruteForceKCliques(*g, 4).size(), 10u);
+}
+
+// -------------------------------------------------------- Named graphs
+TEST(NamedGraphsTest, PaperFig2HasSevenTriangles) {
+  Graph g = PaperFig2Graph();
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(testing::BruteForceKCliques(g, 3).size(), 7u);  // Example 1
+}
+
+TEST(NamedGraphsTest, PaperFig2MaximumPackingIsThree) {
+  // Example 1: S2 = {C1, C4, C7} is maximum with size 3.
+  EXPECT_EQ(testing::BruteForceMaxDisjointPacking(PaperFig2Graph(), 3), 3u);
+}
+
+TEST(NamedGraphsTest, Fig5G1HasThreeTriangles) {
+  Graph g1 = PaperFig5G1();
+  EXPECT_EQ(g1.num_nodes(), 11u);
+  EXPECT_EQ(testing::BruteForceKCliques(g1, 3).size(), 3u);
+  EXPECT_EQ(testing::BruteForceMaxDisjointPacking(g1, 3), 2u);
+}
+
+TEST(NamedGraphsTest, Fig5G2GainsTheSwapTriangle) {
+  Graph g2 = PaperFig5G2();
+  EXPECT_EQ(testing::BruteForceKCliques(g2, 3).size(), 4u);
+  EXPECT_EQ(testing::BruteForceMaxDisjointPacking(g2, 3), 3u);
+}
+
+TEST(NamedGraphsTest, KarateClubShape) {
+  Graph g = KarateClub();
+  EXPECT_EQ(g.num_nodes(), 34u);
+  EXPECT_EQ(g.num_edges(), 78u);
+  EXPECT_EQ(testing::BruteForceKCliques(g, 3).size(), 45u);  // known value
+}
+
+}  // namespace
+}  // namespace dkc

@@ -1,0 +1,132 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(GraphBuilderTest, TriangleBasics) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.MaxDegree(), 2u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder b;
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, EnsureNodeCreatesIsolatedNodes) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureNode(5);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.Degree(5), 0u);
+}
+
+TEST(GraphBuilderTest, NodeCountGrowsToMaxId) {
+  GraphBuilder b;
+  b.AddEdge(3, 9);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 10u);
+}
+
+TEST(GraphTest, NeighborsAreSortedUnique) {
+  Graph g = testing::RandomGraph(60, 0.2, /*seed=*/1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()), nbrs.end());
+    EXPECT_EQ(std::find(nbrs.begin(), nbrs.end(), u), nbrs.end())
+        << "self loop at " << u;
+  }
+}
+
+TEST(GraphTest, AdjacencyIsSymmetric) {
+  Graph g = testing::RandomGraph(60, 0.15, /*seed=*/2);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      EXPECT_TRUE(g.HasEdge(v, u)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(GraphTest, HasEdgeMatchesNeighborLists) {
+  Graph g = testing::RandomGraph(40, 0.3, /*seed=*/3);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto nbrs = g.Neighbors(u);
+      const bool in_list =
+          std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+      EXPECT_EQ(g.HasEdge(u, v), in_list);
+    }
+  }
+}
+
+TEST(GraphTest, HasEdgeOutOfRangeIsFalse) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_FALSE(g.HasEdge(0, 99));
+  EXPECT_FALSE(g.HasEdge(99, 0));
+}
+
+TEST(GraphTest, DegreeSumIsTwiceEdges) {
+  Graph g = testing::RandomGraph(80, 0.1, /*seed=*/4);
+  Count total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) total += g.Degree(u);
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+TEST(GraphTest, MemoryBytesPositiveForNonEmpty) {
+  Graph g = testing::RandomGraph(10, 0.5, /*seed=*/5);
+  EXPECT_GT(g.MemoryBytes(), 0);
+}
+
+TEST(GraphBuilderTest, BuildResetsBuilder) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  Graph g1 = b.Build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(b.num_pending_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace dkc

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mis/exact_mis.h"
+#include "mis/greedy_mis.h"
+#include "util/rng.h"
+
+namespace dkc {
+namespace {
+
+using Adj = std::vector<std::vector<uint32_t>>;
+
+Adj RandomAdjacency(uint32_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Adj adj(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      if (rng.NextBool(p)) {
+        adj[u].push_back(v);
+        adj[v].push_back(u);
+      }
+    }
+  }
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+  return adj;
+}
+
+bool IsIndependentSet(const Adj& adj, const std::vector<uint32_t>& set) {
+  for (uint32_t u : set) {
+    for (uint32_t v : set) {
+      if (u != v &&
+          std::binary_search(adj[u].begin(), adj[u].end(), v)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsMaximalIndependentSet(const Adj& adj,
+                             const std::vector<uint32_t>& set) {
+  if (!IsIndependentSet(adj, set)) return false;
+  std::vector<bool> in(adj.size(), false);
+  for (uint32_t u : set) in[u] = true;
+  for (uint32_t v = 0; v < adj.size(); ++v) {
+    if (in[v]) continue;
+    bool blocked = false;
+    for (uint32_t w : adj[v]) {
+      if (in[w]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;  // v could be added
+  }
+  return true;
+}
+
+// Exponential reference for tiny instances.
+size_t BruteForceMisSize(const Adj& adj) {
+  const uint32_t n = static_cast<uint32_t>(adj.size());
+  size_t best = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool ok = true;
+    for (uint32_t u = 0; u < n && ok; ++u) {
+      if (!(mask & (1u << u))) continue;
+      for (uint32_t v : adj[u]) {
+        if (v > u && (mask & (1u << v))) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) best = std::max(best, static_cast<size_t>(__builtin_popcount(mask)));
+  }
+  return best;
+}
+
+// ------------------------------------------------------------- greedy
+TEST(GreedyMisTest, EmptyGraph) {
+  EXPECT_TRUE(GreedyMinDegreeMis({}).empty());
+}
+
+TEST(GreedyMisTest, NoEdgesTakesAll) {
+  Adj adj(5);
+  EXPECT_EQ(GreedyMinDegreeMis(adj).size(), 5u);
+}
+
+TEST(GreedyMisTest, TriangleTakesOne) {
+  Adj adj = {{1, 2}, {0, 2}, {0, 1}};
+  EXPECT_EQ(GreedyMinDegreeMis(adj).size(), 1u);
+}
+
+TEST(GreedyMisTest, PathTakesEnds) {
+  // Path 0-1-2: min degree greedy takes 0 and 2.
+  Adj adj = {{1}, {0, 2}, {1}};
+  auto mis = GreedyMinDegreeMis(adj);
+  EXPECT_EQ(mis.size(), 2u);
+  EXPECT_TRUE(IsIndependentSet(adj, mis));
+}
+
+TEST(GreedyMisTest, ExpiredDeadlineReturnsPartialAndFlags) {
+  Adj adj = RandomAdjacency(200, 0.1, 9);
+  bool expired = false;
+  auto mis = GreedyMinDegreeMis(adj, Deadline::AfterMillis(0), &expired);
+  EXPECT_TRUE(expired);
+  EXPECT_TRUE(IsIndependentSet(adj, mis));  // partial but still independent
+}
+
+TEST(GreedyMisTest, UnlimitedDeadlineDoesNotFlag) {
+  Adj adj = RandomAdjacency(30, 0.2, 10);
+  bool expired = true;
+  auto mis = GreedyMinDegreeMis(adj, Deadline::Unlimited(), &expired);
+  EXPECT_FALSE(expired);
+  EXPECT_TRUE(IsMaximalIndependentSet(adj, mis));
+}
+
+TEST(GreedyMisTest, StarTakesLeaves) {
+  Adj adj(6);
+  for (uint32_t v = 1; v < 6; ++v) {
+    adj[0].push_back(v);
+    adj[v].push_back(0);
+  }
+  EXPECT_EQ(GreedyMinDegreeMis(adj).size(), 5u);
+}
+
+class GreedyMisSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyMisSweep, AlwaysMaximalIndependent) {
+  Rng rng(GetParam());
+  const uint32_t n = 10 + static_cast<uint32_t>(rng.NextBounded(40));
+  const double p = 0.05 + rng.NextDouble() * 0.4;
+  Adj adj = RandomAdjacency(n, p, GetParam() * 31 + 7);
+  auto mis = GreedyMinDegreeMis(adj);
+  EXPECT_TRUE(IsMaximalIndependentSet(adj, mis));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, GreedyMisSweep,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// -------------------------------------------------------------- exact
+TEST(ExactMisTest, EmptyGraph) {
+  auto result = ExactMis({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->vertices.empty());
+}
+
+TEST(ExactMisTest, SingleVertex) {
+  auto result = ExactMis(Adj(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vertices.size(), 1u);
+}
+
+TEST(ExactMisTest, CompleteGraphIsOne) {
+  Adj adj = RandomAdjacency(6, 1.0, 0);
+  auto result = ExactMis(adj);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vertices.size(), 1u);
+}
+
+TEST(ExactMisTest, C5IsTwo) {
+  Adj adj = {{1, 4}, {0, 2}, {1, 3}, {2, 4}, {0, 3}};
+  auto result = ExactMis(adj);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vertices.size(), 2u);
+  EXPECT_TRUE(IsIndependentSet(adj, result->vertices));
+}
+
+TEST(ExactMisTest, PetersenGraphIsFour) {
+  // Petersen graph: MIS size 4.
+  Adj adj(10);
+  auto add = [&adj](uint32_t u, uint32_t v) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+  for (uint32_t i = 0; i < 5; ++i) {
+    add(i, (i + 1) % 5);        // outer cycle
+    add(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    add(i, 5 + i);              // spokes
+  }
+  for (auto& l : adj) std::sort(l.begin(), l.end());
+  auto result = ExactMis(adj);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vertices.size(), 4u);
+}
+
+TEST(ExactMisTest, ExpiredDeadlineIsOot) {
+  Adj adj = RandomAdjacency(60, 0.3, 1);
+  auto result = ExactMis(adj, Deadline::AfterMillis(0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeBudgetExceeded());
+}
+
+class ExactMisSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactMisSweep, MatchesBruteForceAndIsIndependent) {
+  Rng rng(GetParam() + 100);
+  const uint32_t n = 8 + static_cast<uint32_t>(rng.NextBounded(9));  // <= 16
+  const double p = 0.1 + rng.NextDouble() * 0.6;
+  Adj adj = RandomAdjacency(n, p, GetParam() * 131 + 5);
+  auto result = ExactMis(adj);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsIndependentSet(adj, result->vertices));
+  EXPECT_EQ(result->vertices.size(), BruteForceMisSize(adj));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ExactMisSweep,
+                         ::testing::Range<uint64_t>(0, 15));
+
+TEST(ExactMisTest, AtLeastAsGoodAsGreedy) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Adj adj = RandomAdjacency(40, 0.2, seed);
+    auto exact = ExactMis(adj);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(exact->vertices.size(), GreedyMinDegreeMis(adj).size());
+  }
+}
+
+}  // namespace
+}  // namespace dkc

@@ -1,0 +1,124 @@
+#include "core/opt_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/lightweight.h"
+#include "core/verify.h"
+#include "gen/named_graphs.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+TEST(OptSolverTest, RejectsKBelow3) {
+  OptOptions options;
+  options.k = 2;
+  EXPECT_FALSE(SolveOpt(PaperFig2Graph(), options).ok());
+}
+
+TEST(OptSolverTest, PaperFig2IsThree) {
+  OptOptions options;
+  options.k = 3;
+  auto result = SolveOpt(PaperFig2Graph(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // Example 1: |S2| = 3 is maximum
+  EXPECT_TRUE(VerifyDisjointCliques(PaperFig2Graph(), result->set).ok());
+}
+
+TEST(OptSolverTest, Fig5G1AndG2) {
+  OptOptions options;
+  options.k = 3;
+  auto g1 = SolveOpt(PaperFig5G1(), options);
+  auto g2 = SolveOpt(PaperFig5G2(), options);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_EQ(g1->size(), 2u);
+  EXPECT_EQ(g2->size(), 3u);  // the (v5,v7) insertion enables a third clique
+}
+
+TEST(OptSolverTest, EmptyGraph) {
+  OptOptions options;
+  options.k = 3;
+  auto result = SolveOpt(Graph(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST(OptSolverTest, PlantedInstanceExactlyRecovered) {
+  PlantedCliqueSpec spec;
+  spec.num_cliques = 7;
+  spec.k = 3;
+  spec.filler_nodes = 15;
+  Rng rng(95);
+  auto planted = PlantedCliques(spec, rng);
+  ASSERT_TRUE(planted.ok());
+  OptOptions options;
+  options.k = 3;
+  auto result = SolveOpt(planted->graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), planted->planted_count);
+}
+
+TEST(OptSolverTest, ExpiredDeadlineIsOot) {
+  Graph g = testing::RandomGraph(300, 0.2, /*seed=*/96);
+  OptOptions options;
+  options.k = 3;
+  options.budget.time_ms = 0.000001;
+  auto result = SolveOpt(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeBudgetExceeded());
+}
+
+TEST(OptSolverTest, TinyMemoryBudgetIsOom) {
+  Graph g = testing::RandomGraph(60, 0.5, /*seed=*/97);
+  OptOptions options;
+  options.k = 3;
+  options.budget.memory_bytes = 64;
+  auto result = SolveOpt(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsMemoryBudgetExceeded());
+}
+
+// OPT must equal the brute-force optimum.
+class OptSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(OptSweep, MatchesBruteForceOptimum) {
+  const auto [n, p, k] = GetParam();
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Graph g = testing::RandomGraph(static_cast<NodeId>(n), p,
+                                   seed * 211 + n * k);
+    OptOptions options;
+    options.k = k;
+    auto result = SolveOpt(g, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(VerifyDisjointCliques(g, result->set).ok());
+    EXPECT_EQ(result->size(), testing::BruteForceMaxDisjointPacking(g, k))
+        << "n=" << n << " p=" << p << " k=" << k << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptSweep,
+    ::testing::Combine(::testing::Values(12, 16, 20),
+                       ::testing::Values(0.3, 0.5), ::testing::Values(3, 4)));
+
+TEST(OptSolverTest, LpWithinKFactorOfOpt) {
+  // Theorem 3 instantiated against the true optimum computed by OPT.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = testing::RandomGraph(22, 0.4, seed + 1200);
+    OptOptions opt_options;
+    opt_options.k = 3;
+    auto opt = SolveOpt(g, opt_options);
+    LightweightOptions lp_options;
+    lp_options.k = 3;
+    auto lp = SolveLightweight(g, lp_options);
+    ASSERT_TRUE(opt.ok() && lp.ok());
+    EXPECT_LE(opt->size(), 3 * lp->size());
+    EXPECT_LE(lp->size(), opt->size());  // LP can never beat the optimum
+  }
+}
+
+}  // namespace
+}  // namespace dkc

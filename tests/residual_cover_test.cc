@@ -1,0 +1,131 @@
+#include "core/residual_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/named_graphs.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+void ExpectGroupsAreDisjointRealCliques(const Graph& g,
+                                        const ResidualCoverResult& result) {
+  std::vector<uint8_t> seen(g.num_nodes(), 0);
+  Count covered = 0;
+  for (const auto& group : result.groups) {
+    ASSERT_EQ(group.nodes.size(), static_cast<size_t>(group.k));
+    for (size_t i = 0; i < group.nodes.size(); ++i) {
+      EXPECT_FALSE(seen[group.nodes[i]]) << "node in two groups";
+      seen[group.nodes[i]] = 1;
+      ++covered;
+      for (size_t j = i + 1; j < group.nodes.size(); ++j) {
+        EXPECT_TRUE(g.HasEdge(group.nodes[i], group.nodes[j]));
+      }
+    }
+  }
+  EXPECT_EQ(covered, result.covered_nodes);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(static_cast<bool>(seen[u]), static_cast<bool>(result.covered[u]));
+  }
+}
+
+TEST(ResidualCoverTest, RejectsBadKRange) {
+  ResidualCoverOptions options;
+  options.k = 3;
+  options.min_k = 4;
+  EXPECT_FALSE(ResidualCover(PaperFig2Graph(), options).ok());
+  options.k = 4;
+  options.min_k = 2;
+  EXPECT_FALSE(ResidualCover(PaperFig2Graph(), options).ok());
+}
+
+TEST(ResidualCoverTest, SingleRoundEqualsSolve) {
+  Graph g = PaperFig2Graph();
+  ResidualCoverOptions options;
+  options.k = 3;
+  options.min_k = 3;
+  auto result = ResidualCover(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->groups.size(), 3u);  // LP finds the maximum packing
+  ExpectGroupsAreDisjointRealCliques(g, *result);
+}
+
+TEST(ResidualCoverTest, MultiRoundIncreasesCoverage) {
+  Rng rng(2300);
+  auto g = WattsStrogatz(2000, 10, 0.1, rng);
+  ASSERT_TRUE(g.ok());
+  ResidualCoverOptions one_round;
+  one_round.k = 5;
+  one_round.min_k = 5;
+  ResidualCoverOptions many_rounds;
+  many_rounds.k = 5;
+  many_rounds.min_k = 3;
+  auto single = ResidualCover(*g, one_round);
+  auto multi = ResidualCover(*g, many_rounds);
+  ASSERT_TRUE(single.ok() && multi.ok());
+  EXPECT_GE(multi->covered_nodes, single->covered_nodes);
+  ExpectGroupsAreDisjointRealCliques(*g, *multi);
+}
+
+TEST(ResidualCoverTest, PairRoundCoversLeftovers) {
+  Rng rng(2301);
+  auto g = WattsStrogatz(1000, 8, 0.1, rng);
+  ASSERT_TRUE(g.ok());
+  ResidualCoverOptions without_pairs;
+  without_pairs.k = 4;
+  ResidualCoverOptions with_pairs = without_pairs;
+  with_pairs.pair_round = true;
+  auto base = ResidualCover(*g, without_pairs);
+  auto paired = ResidualCover(*g, with_pairs);
+  ASSERT_TRUE(base.ok() && paired.ok());
+  EXPECT_GE(paired->covered_nodes, base->covered_nodes);
+  ExpectGroupsAreDisjointRealCliques(*g, *paired);
+  bool has_pair = false;
+  for (const auto& group : paired->groups) has_pair |= (group.k == 2);
+  EXPECT_TRUE(has_pair);
+}
+
+TEST(ResidualCoverTest, RoundsAreDescendingInK) {
+  Rng rng(2302);
+  auto g = WattsStrogatz(800, 10, 0.15, rng);
+  ASSERT_TRUE(g.ok());
+  ResidualCoverOptions options;
+  options.k = 5;
+  options.min_k = 3;
+  auto result = ResidualCover(*g, options);
+  ASSERT_TRUE(result.ok());
+  int last_k = options.k;
+  for (const auto& group : result->groups) {
+    EXPECT_LE(group.k, last_k);
+    last_k = group.k;
+  }
+}
+
+TEST(ResidualCoverTest, EmptyGraph) {
+  ResidualCoverOptions options;
+  auto result = ResidualCover(Graph(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->groups.empty());
+  EXPECT_EQ(result->coverage(0), 0.0);
+}
+
+TEST(ResidualCoverTest, PlantedInstancesFullyCovered) {
+  // Planted disjoint 4-cliques, no filler: one round covers everything.
+  PlantedCliqueSpec spec;
+  spec.num_cliques = 15;
+  spec.k = 4;
+  spec.filler_nodes = 0;
+  Rng rng(2303);
+  auto planted = PlantedCliques(spec, rng);
+  ASSERT_TRUE(planted.ok());
+  ResidualCoverOptions options;
+  options.k = 4;
+  auto result = ResidualCover(planted->graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->covered_nodes, planted->graph.num_nodes());
+  EXPECT_DOUBLE_EQ(result->coverage(planted->graph.num_nodes()), 1.0);
+}
+
+}  // namespace
+}  // namespace dkc

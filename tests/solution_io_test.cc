@@ -1,0 +1,96 @@
+#include "io/solution_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/solver.h"
+#include "core/verify.h"
+#include "gen/named_graphs.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+CliqueStore SampleSolution() {
+  CliqueStore store(3);
+  store.Add(std::vector<NodeId>{0, 2, 5});
+  store.Add(std::vector<NodeId>{6, 7, 8});
+  return store;
+}
+
+TEST(SolutionIoTest, StringRoundTrip) {
+  CliqueStore original = SampleSolution();
+  auto parsed = SolutionFromString(SolutionToString(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  ASSERT_EQ(parsed->k(), original.k());
+  for (CliqueId c = 0; c < original.size(); ++c) {
+    auto a = original.Get(c);
+    auto b = parsed->Get(c);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(SolutionIoTest, HeaderFormat) {
+  const std::string text = SolutionToString(SampleSolution());
+  EXPECT_EQ(text.rfind("dkclique-solution k 3\n", 0), 0u);
+}
+
+TEST(SolutionIoTest, EmptySolution) {
+  CliqueStore empty(4);
+  auto parsed = SolutionFromString(SolutionToString(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 0u);
+  EXPECT_EQ(parsed->k(), 4);
+}
+
+TEST(SolutionIoTest, CommentsSkipped) {
+  auto parsed = SolutionFromString(
+      "# produced by dkc\ndkclique-solution k 3\n# round 1\n1 2 3\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(SolutionIoTest, MissingHeaderIsCorruption) {
+  auto parsed = SolutionFromString("1 2 3\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), Status::Code::kCorruption);
+}
+
+TEST(SolutionIoTest, WrongArityIsCorruption) {
+  auto parsed = SolutionFromString("dkclique-solution k 3\n1 2\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SolutionIoTest, BadKIsCorruption) {
+  EXPECT_FALSE(SolutionFromString("dkclique-solution k 1\n").ok());
+  EXPECT_FALSE(SolutionFromString("dkclique-solution q 3\n").ok());
+}
+
+TEST(SolutionIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadSolution("/no/such/file").status().code(),
+            Status::Code::kIOError);
+}
+
+TEST(SolutionIoTest, FileRoundTripOfRealSolve) {
+  Graph g = KarateClub();
+  SolverOptions options;
+  options.k = 3;
+  options.method = Method::kLP;
+  auto result = Solve(g, options);
+  ASSERT_TRUE(result.ok());
+  const std::string path = ::testing::TempDir() + "/dkc_solution.txt";
+  ASSERT_TRUE(WriteSolution(result->set, path).ok());
+  auto loaded = ReadSolution(path);
+  ASSERT_TRUE(loaded.ok());
+  // The reloaded solution must still verify against the graph.
+  EXPECT_TRUE(VerifySolution(g, *loaded).ok());
+  EXPECT_EQ(loaded->size(), result->size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dkc

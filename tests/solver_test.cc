@@ -1,0 +1,85 @@
+#include "core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verify.h"
+#include "gen/named_graphs.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+TEST(SolverTest, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kHG), "HG");
+  EXPECT_STREQ(MethodName(Method::kGC), "GC");
+  EXPECT_STREQ(MethodName(Method::kL), "L");
+  EXPECT_STREQ(MethodName(Method::kLP), "LP");
+  EXPECT_STREQ(MethodName(Method::kOPT), "OPT");
+}
+
+TEST(SolverTest, ParseMethodRoundTrip) {
+  for (Method m : {Method::kHG, Method::kGC, Method::kL, Method::kLP,
+                   Method::kOPT}) {
+    auto parsed = ParseMethod(MethodName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, m);
+  }
+}
+
+TEST(SolverTest, ParseMethodCaseInsensitive) {
+  auto parsed = ParseMethod("lp");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, Method::kLP);
+}
+
+TEST(SolverTest, ParseUnknownMethodFails) {
+  EXPECT_FALSE(ParseMethod("MAGIC").ok());
+  EXPECT_EQ(ParseMethod("").status().code(), Status::Code::kNotFound);
+}
+
+TEST(SolverTest, AllMethodsProduceValidSolutions) {
+  Graph g = PaperFig2Graph();
+  for (Method m : {Method::kHG, Method::kGC, Method::kL, Method::kLP,
+                   Method::kOPT}) {
+    SolverOptions options;
+    options.k = 3;
+    options.method = m;
+    auto result = Solve(g, options);
+    ASSERT_TRUE(result.ok()) << MethodName(m);
+    EXPECT_TRUE(VerifyDisjointCliques(g, result->set).ok()) << MethodName(m);
+    EXPECT_GE(result->size(), 2u) << MethodName(m);
+    EXPECT_LE(result->size(), 3u) << MethodName(m);
+  }
+}
+
+TEST(SolverTest, AllMethodsRejectBadK) {
+  for (Method m : {Method::kHG, Method::kGC, Method::kL, Method::kLP,
+                   Method::kOPT}) {
+    SolverOptions options;
+    options.k = 1;
+    options.method = m;
+    EXPECT_FALSE(Solve(PaperFig2Graph(), options).ok()) << MethodName(m);
+  }
+}
+
+TEST(SolverTest, QualityOrderingOnKarate) {
+  // OPT >= GC/LP >= ... all must be valid; OPT must dominate.
+  Graph g = KarateClub();
+  SolverOptions options;
+  options.k = 3;
+  options.method = Method::kOPT;
+  auto opt = Solve(g, options);
+  ASSERT_TRUE(opt.ok());
+  for (Method m : {Method::kHG, Method::kGC, Method::kL, Method::kLP}) {
+    options.method = m;
+    auto result = Solve(g, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->size(), opt->size()) << MethodName(m);
+    EXPECT_GE(static_cast<int>(result->size()) * options.k,
+              static_cast<int>(opt->size()))
+        << MethodName(m) << " breaks the k-approximation";
+  }
+}
+
+}  // namespace
+}  // namespace dkc

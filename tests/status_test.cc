@@ -1,0 +1,110 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dkc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("k must be >= 3");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "k must be >= 3");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be >= 3");
+}
+
+TEST(StatusTest, NotFound) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+}
+
+TEST(StatusTest, Corruption) {
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+}
+
+TEST(StatusTest, IOError) {
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+}
+
+TEST(StatusTest, NotSupported) {
+  EXPECT_EQ(Status::NotSupported("x").code(), Status::Code::kNotSupported);
+}
+
+TEST(StatusTest, Internal) {
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+}
+
+TEST(StatusTest, TimeBudgetIsAbortedWithOotSubcode) {
+  Status s = Status::TimeBudgetExceeded();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kAborted);
+  EXPECT_TRUE(s.IsTimeBudgetExceeded());
+  EXPECT_FALSE(s.IsMemoryBudgetExceeded());
+  EXPECT_NE(s.ToString().find("OOT"), std::string::npos);
+}
+
+TEST(StatusTest, MemoryBudgetIsAbortedWithOomSubcode) {
+  Status s = Status::MemoryBudgetExceeded();
+  EXPECT_EQ(s.code(), Status::Code::kAborted);
+  EXPECT_TRUE(s.IsMemoryBudgetExceeded());
+  EXPECT_FALSE(s.IsTimeBudgetExceeded());
+  EXPECT_NE(s.ToString().find("OOM"), std::string::npos);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndSubcode) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::InvalidArgument("a"), Status::InvalidArgument("b"));
+  EXPECT_FALSE(Status::TimeBudgetExceeded() == Status::MemoryBudgetExceeded());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::Corruption("bad"); };
+  auto outer = [&]() -> Status {
+    DKC_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kCorruption);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPassesOk) {
+  auto outer = []() -> Status {
+    DKC_RETURN_IF_ERROR(Status::OK());
+    return Status::Internal("reached end");
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kInternal);
+}
+
+}  // namespace
+}  // namespace dkc

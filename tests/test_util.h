@@ -1,0 +1,130 @@
+// Brute-force reference implementations and helpers shared by the tests.
+// Everything here is deliberately naive: correctness oracles must not share
+// code (or cleverness, or bugs) with the library under test.
+
+#ifndef DKC_TESTS_TEST_UTIL_H_
+#define DKC_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace dkc {
+namespace testing {
+
+/// All k-subsets of nodes that are cliques, each sorted ascending.
+/// O(n^k); keep n small.
+inline std::vector<std::vector<NodeId>> BruteForceKCliques(const Graph& g,
+                                                           int k) {
+  std::vector<std::vector<NodeId>> cliques;
+  std::vector<NodeId> current;
+  auto extend = [&](auto&& self, NodeId start) -> void {
+    if (current.size() == static_cast<size_t>(k)) {
+      cliques.push_back(current);
+      return;
+    }
+    for (NodeId v = start; v < g.num_nodes(); ++v) {
+      bool ok = true;
+      for (NodeId u : current) {
+        if (!g.HasEdge(u, v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      current.push_back(v);
+      self(self, v + 1);
+      current.pop_back();
+    }
+  };
+  extend(extend, 0);
+  return cliques;
+}
+
+/// Exact maximum disjoint k-clique packing size by exhaustive search over
+/// the brute-forced clique list. Exponential; tiny graphs only.
+inline size_t BruteForceMaxDisjointPacking(const Graph& g, int k) {
+  const auto cliques = BruteForceKCliques(g, k);
+  size_t best = 0;
+  std::vector<uint8_t> used(g.num_nodes(), 0);
+  auto rec = [&](auto&& self, size_t index, size_t chosen) -> void {
+    best = std::max(best, chosen);
+    // Bound: even taking every remaining clique cannot beat best.
+    if (chosen + (cliques.size() - index) <= best) return;
+    for (size_t i = index; i < cliques.size(); ++i) {
+      bool free = true;
+      for (NodeId u : cliques[i]) {
+        if (used[u]) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) continue;
+      for (NodeId u : cliques[i]) used[u] = 1;
+      self(self, i + 1, chosen + 1);
+      for (NodeId u : cliques[i]) used[u] = 0;
+    }
+  };
+  rec(rec, 0, 0);
+  return best;
+}
+
+/// Per-node k-clique membership counts, brute force.
+inline std::vector<Count> BruteForceNodeScores(const Graph& g, int k) {
+  std::vector<Count> scores(g.num_nodes(), 0);
+  for (const auto& clique : BruteForceKCliques(g, k)) {
+    for (NodeId u : clique) ++scores[u];
+  }
+  return scores;
+}
+
+/// Degeneracy by repeated min-degree peeling with naive rescans.
+inline Count BruteForceDegeneracy(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<bool> removed(n, false);
+  std::vector<Count> degree(n, 0);
+  for (NodeId u = 0; u < n; ++u) degree[u] = g.Degree(u);
+  Count degeneracy = 0;
+  for (NodeId round = 0; round < n; ++round) {
+    NodeId best = kInvalidNode;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!removed[u] && (best == kInvalidNode || degree[u] < degree[best])) {
+        best = u;
+      }
+    }
+    degeneracy = std::max(degeneracy, degree[best]);
+    removed[best] = true;
+    for (NodeId v : g.Neighbors(best)) {
+      if (!removed[v]) --degree[v];
+    }
+  }
+  return degeneracy;
+}
+
+/// Small random simple graph via G(n, p) (deterministic per seed).
+inline Graph RandomGraph(NodeId n, double p, uint64_t seed) {
+  Rng rng(seed);
+  auto g = ErdosRenyi(n, p, rng);
+  return std::move(g).value();
+}
+
+/// Canonical (sorted) form of a clique set for set-equality comparisons.
+inline std::set<std::vector<NodeId>> Canonicalize(
+    const std::vector<std::vector<NodeId>>& cliques) {
+  std::set<std::vector<NodeId>> out;
+  for (auto clique : cliques) {
+    std::sort(clique.begin(), clique.end());
+    out.insert(std::move(clique));
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace dkc
+
+#endif  // DKC_TESTS_TEST_UTIL_H_

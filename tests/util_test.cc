@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace dkc {
+namespace {
+
+// ---------------------------------------------------------------- Timer
+TEST(TimerTest, ElapsedIsMonotonic) {
+  Timer t;
+  const double a = t.ElapsedSeconds();
+  const double b = t.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, UnitsAreConsistent) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double seconds = t.ElapsedSeconds();
+  const double millis = t.ElapsedMillis();
+  EXPECT_NEAR(millis, seconds * 1e3, seconds * 1e3 * 0.5 + 1.0);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double before = t.ElapsedNanos();
+  t.Restart();
+  EXPECT_LT(t.ElapsedNanos(), before + 1000000000LL);
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  EXPECT_FALSE(Deadline::Unlimited().Expired());
+  EXPECT_TRUE(Deadline::Unlimited().unlimited());
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).Expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  EXPECT_FALSE(Deadline::AfterMillis(60000).Expired());
+}
+
+// --------------------------------------------------------------- Memory
+TEST(MemoryTest, RssReadersReturnPositiveOnLinux) {
+  EXPECT_GT(CurrentRssBytes(), 0);
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);
+}
+
+TEST(MemoryBudgetTest, UnlimitedNeverFails) {
+  MemoryBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_TRUE(budget.Charge(int64_t{1} << 40));
+}
+
+TEST(MemoryBudgetTest, ChargeUpToLimitSucceeds) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.Charge(400));
+  EXPECT_TRUE(budget.Charge(600));
+  EXPECT_EQ(budget.used_bytes(), 1000);
+}
+
+TEST(MemoryBudgetTest, ExceedingLimitFails) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.Charge(999));
+  EXPECT_FALSE(budget.Charge(2));
+}
+
+TEST(MemoryBudgetTest, ReleaseMakesRoom) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.Charge(900));
+  budget.Release(500);
+  EXPECT_TRUE(budget.Charge(500));
+}
+
+TEST(MemoryBudgetTest, PeakTracksHighWater) {
+  MemoryBudget budget(0);
+  budget.Charge(700);
+  budget.Release(600);
+  budget.Charge(100);
+  EXPECT_EQ(budget.peak_bytes(), 700);
+  EXPECT_EQ(budget.used_bytes(), 200);
+}
+
+// ------------------------------------------------------------------ Rng
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.05);  // law of large numbers, loose
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng forked = a.Fork();
+  EXPECT_NE(a.Next(), forked.Next());
+}
+
+// ------------------------------------------------------------ ThreadPool
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPoolTest, DefaultUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForTinyRangeRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(3, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, SequentialSubmitBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&] { counter.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+// ---------------------------------------------------------------- Flags
+TEST(FlagsTest, ParsesKeyValue) {
+  const char* argv[] = {"prog", "--k=5", "--name=orkut"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 3), 5);
+  EXPECT_EQ(flags.GetString("name", ""), "orkut");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 3), 3);
+  EXPECT_EQ(flags.GetDouble("beta", 0.1), 0.1);
+  EXPECT_FALSE(flags.Has("k"));
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, ExplicitFalse) {
+  const char* argv[] = {"prog", "--verbose=false", "--debug=0"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.GetBool("verbose", true));
+  EXPECT_FALSE(flags.GetBool("debug", true));
+}
+
+TEST(FlagsTest, PositionalArgumentsPreserved) {
+  const char* argv[] = {"prog", "input.txt", "--k=4", "more"};
+  Flags flags(4, const_cast<char**>(argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "more");
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const char* argv[] = {"prog", "--beta=0.25"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace dkc

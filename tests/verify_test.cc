@@ -1,0 +1,82 @@
+#include "core/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/named_graphs.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+TEST(VerifyTest, EmptySetOnEmptyGraphIsValidAndMaximal) {
+  CliqueStore set(3);
+  EXPECT_TRUE(VerifySolution(Graph(), set).ok());
+}
+
+TEST(VerifyTest, AcceptsRealDisjointCliques) {
+  Graph g = PaperFig2Graph();
+  CliqueStore set(3);
+  set.Add(std::vector<NodeId>{0, 2, 5});  // v1,v3,v6
+  set.Add(std::vector<NodeId>{6, 7, 8});  // v7,v8,v9
+  EXPECT_TRUE(VerifyDisjointCliques(g, set).ok());
+}
+
+TEST(VerifyTest, RejectsNonClique) {
+  Graph g = PaperFig2Graph();
+  CliqueStore set(3);
+  set.Add(std::vector<NodeId>{0, 1, 2});  // v1,v2,v3: no edges v1-v2 etc.
+  auto status = VerifyDisjointCliques(g, set);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kCorruption);
+}
+
+TEST(VerifyTest, RejectsOverlap) {
+  Graph g = PaperFig2Graph();
+  CliqueStore set(3);
+  set.Add(std::vector<NodeId>{0, 2, 5});
+  set.Add(std::vector<NodeId>{2, 4, 5});  // shares v3 and v6
+  EXPECT_FALSE(VerifyDisjointCliques(g, set).ok());
+}
+
+TEST(VerifyTest, RejectsRepeatedNodeInsideClique) {
+  Graph g = PaperFig2Graph();
+  CliqueStore set(3);
+  set.Add(std::vector<NodeId>{0, 0, 2});
+  EXPECT_FALSE(VerifyDisjointCliques(g, set).ok());
+}
+
+TEST(VerifyTest, RejectsUnknownNode) {
+  Graph g = PaperFig2Graph();
+  CliqueStore set(3);
+  set.Add(std::vector<NodeId>{0, 2, 99});
+  EXPECT_FALSE(VerifyDisjointCliques(g, set).ok());
+}
+
+TEST(VerifyTest, DetectsNonMaximality) {
+  Graph g = PaperFig2Graph();
+  CliqueStore set(3);
+  set.Add(std::vector<NodeId>{4, 5, 7});  // v5,v6,v8 — one clique only
+  EXPECT_TRUE(VerifyDisjointCliques(g, set).ok());
+  // (v2,v4,v9) remains available, so the set is not maximal.
+  auto status = VerifyMaximality(g, set);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kCorruption);
+}
+
+TEST(VerifyTest, AcceptsMaximalButNotMaximumSet) {
+  // Example 1's S1 (size 2) is maximal though not maximum.
+  Graph g = PaperFig2Graph();
+  CliqueStore set(3);
+  set.Add(std::vector<NodeId>{2, 4, 5});  // v3,v5,v6
+  set.Add(std::vector<NodeId>{6, 7, 8});  // v7,v8,v9
+  EXPECT_TRUE(VerifySolution(g, set).ok());
+}
+
+TEST(VerifyTest, EmptySetOnTriangleRichGraphIsNotMaximal) {
+  Graph g = PaperFig2Graph();
+  CliqueStore set(3);
+  EXPECT_FALSE(VerifyMaximality(g, set).ok());
+}
+
+}  // namespace
+}  // namespace dkc

@@ -1,0 +1,102 @@
+#include "dynamic/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dynamic_graph.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+TEST(SampleEdgesTest, SamplesDistinctExistingEdges) {
+  Graph g = testing::RandomGraph(40, 0.2, /*seed=*/120);
+  Rng rng(1);
+  auto sample = SampleEdges(g, 30, rng);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<Edge> seen;
+  for (auto [u, v] : sample) {
+    EXPECT_TRUE(g.HasEdge(u, v));
+    EXPECT_TRUE(seen.insert({std::min(u, v), std::max(u, v)}).second)
+        << "duplicate edge sampled";
+  }
+}
+
+TEST(SampleEdgesTest, ClampsToEdgeCount) {
+  Graph g = testing::RandomGraph(10, 0.3, /*seed=*/121);
+  Rng rng(2);
+  auto sample = SampleEdges(g, 100000, rng);
+  EXPECT_EQ(sample.size(), g.num_edges());
+}
+
+TEST(SampleEdgesTest, DeterministicPerSeed) {
+  Graph g = testing::RandomGraph(30, 0.3, /*seed=*/122);
+  Rng rng1(7), rng2(7);
+  EXPECT_EQ(SampleEdges(g, 10, rng1), SampleEdges(g, 10, rng2));
+}
+
+TEST(RemoveEdgesTest, RemovesExactlyTheGivenEdges) {
+  Graph g = testing::RandomGraph(30, 0.3, /*seed=*/123);
+  Rng rng(3);
+  auto victims = SampleEdges(g, 15, rng);
+  Graph pruned = RemoveEdges(g, victims);
+  EXPECT_EQ(pruned.num_edges(), g.num_edges() - 15);
+  for (auto [u, v] : victims) EXPECT_FALSE(pruned.HasEdge(u, v));
+}
+
+TEST(RemoveEdgesTest, KeepsNodeCount) {
+  Graph g = testing::RandomGraph(30, 0.3, /*seed=*/124);
+  Rng rng(4);
+  Graph pruned = RemoveEdges(g, SampleEdges(g, 5, rng));
+  EXPECT_EQ(pruned.num_nodes(), g.num_nodes());
+}
+
+TEST(MixedWorkloadTest, ShapeAndConsistency) {
+  Graph g = testing::RandomGraph(60, 0.25, /*seed=*/125);
+  Rng rng(5);
+  MixedWorkload w = MakeMixedWorkload(g, 20, 20, rng);
+  EXPECT_EQ(w.ops.size(), 40u);
+  EXPECT_EQ(w.prepared.num_edges(), g.num_edges() - 20);
+
+  size_t inserts = 0, deletes = 0;
+  for (const auto& op : w.ops) {
+    if (op.is_insert) {
+      ++inserts;
+      // Insertions re-add edges that were stripped from the prepared graph.
+      EXPECT_FALSE(w.prepared.HasEdge(op.edge.first, op.edge.second));
+      EXPECT_TRUE(g.HasEdge(op.edge.first, op.edge.second));
+    } else {
+      ++deletes;
+      EXPECT_TRUE(w.prepared.HasEdge(op.edge.first, op.edge.second));
+    }
+  }
+  EXPECT_EQ(inserts, 20u);
+  EXPECT_EQ(deletes, 20u);
+}
+
+TEST(MixedWorkloadTest, OpsAreApplicableInOrder) {
+  Graph g = testing::RandomGraph(50, 0.3, /*seed=*/126);
+  Rng rng(6);
+  MixedWorkload w = MakeMixedWorkload(g, 15, 15, rng);
+  DynamicGraph dyn(w.prepared);
+  for (const auto& op : w.ops) {
+    if (op.is_insert) {
+      EXPECT_TRUE(dyn.InsertEdge(op.edge.first, op.edge.second));
+    } else {
+      EXPECT_TRUE(dyn.DeleteEdge(op.edge.first, op.edge.second));
+    }
+  }
+  // Net effect: inserts restore stripped edges, deletes remove others.
+  EXPECT_EQ(dyn.num_edges(), g.num_edges() - 15);
+}
+
+TEST(MixedWorkloadTest, ClampsWhenGraphTooSmall) {
+  Graph g = testing::RandomGraph(8, 0.3, /*seed=*/127);
+  Rng rng(7);
+  MixedWorkload w = MakeMixedWorkload(g, 1000, 1000, rng);
+  EXPECT_EQ(w.ops.size(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace dkc

@@ -1,0 +1,193 @@
+// dkc — command-line front end to the library.
+//
+//   dkc stats --file=edges.txt [--kmin=3 --kmax=6]
+//       graph statistics + k-clique counts (Table-I style row)
+//   dkc solve --file=edges.txt --k=4 [--method=LP] [--out=solution.txt]
+//       compute a disjoint k-clique set, optionally persist it
+//   dkc verify --file=edges.txt --solution=solution.txt
+//       validate a persisted solution against a graph
+//   dkc cover --file=edges.txt --k=5 [--min-k=3] [--pairs]
+//       iterated residual cover (teaming rounds, paper intro)
+//   dkc match --file=edges.txt [--exact]
+//       maximum matching (the k=2 boundary case)
+//
+// All subcommands also accept --ws=n,degree,beta to synthesize a
+// Watts-Strogatz graph instead of --file (handy without datasets).
+
+#include <cstdio>
+#include <string>
+
+#include "clique/kclique.h"
+#include "core/residual_cover.h"
+#include "core/solver.h"
+#include "core/verify.h"
+#include "gen/generators.h"
+#include "graph/dag.h"
+#include "graph/ordering.h"
+#include "io/edge_list.h"
+#include "io/solution_io.h"
+#include "matching/matching.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dkc <stats|solve|verify|cover|match> [flags]\n"
+               "  --file=<edge list>  or  --ws=<n>,<degree>,<beta>\n"
+               "  solve:  --k=4 --method=HG|GC|L|LP|OPT [--out=path]\n"
+               "  verify: --solution=path\n"
+               "  cover:  --k=5 --min-k=3 [--pairs]\n"
+               "  match:  [--exact]\n"
+               "  stats:  [--kmin=3 --kmax=6]\n");
+  return 2;
+}
+
+dkc::StatusOr<dkc::Graph> LoadGraph(const dkc::Flags& flags) {
+  const std::string file = flags.GetString("file", "");
+  if (!file.empty()) {
+    auto loaded = dkc::ReadEdgeList(file);
+    if (!loaded.ok()) return loaded.status();
+    std::fprintf(stderr, "loaded %s: %u nodes, %llu edges\n", file.c_str(),
+                 loaded->graph.num_nodes(),
+                 static_cast<unsigned long long>(loaded->graph.num_edges()));
+    return std::move(loaded->graph);
+  }
+  const std::string ws = flags.GetString("ws", "10000,12,0.1");
+  unsigned n = 0, degree = 0;
+  double beta = 0;
+  if (std::sscanf(ws.c_str(), "%u,%u,%lf", &n, &degree, &beta) != 3) {
+    return dkc::Status::InvalidArgument("bad --ws spec: " + ws);
+  }
+  dkc::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  return dkc::WattsStrogatz(n, degree, beta, rng);
+}
+
+int RunStats(const dkc::Flags& flags, const dkc::Graph& g) {
+  std::printf("nodes %u\nedges %llu\nmax-degree %llu\ndegeneracy %llu\n",
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              static_cast<unsigned long long>(g.MaxDegree()),
+              static_cast<unsigned long long>(dkc::Degeneracy(g)));
+  dkc::Dag dag(g, dkc::DegeneracyOrdering(g));
+  const int kmin = static_cast<int>(flags.GetInt("kmin", 3));
+  const int kmax = static_cast<int>(flags.GetInt("kmax", 6));
+  for (int k = kmin; k <= kmax; ++k) {
+    dkc::Timer timer;
+    const dkc::Count count = dkc::CountKCliques(dag, k);
+    std::printf("%d-cliques %llu (%.1f ms)\n", k,
+                static_cast<unsigned long long>(count),
+                timer.ElapsedMillis());
+  }
+  return 0;
+}
+
+int RunSolve(const dkc::Flags& flags, const dkc::Graph& g) {
+  auto method = dkc::ParseMethod(flags.GetString("method", "LP"));
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 1;
+  }
+  dkc::SolverOptions options;
+  options.k = static_cast<int>(flags.GetInt("k", 4));
+  options.method = *method;
+  options.budget.time_ms = flags.GetDouble("budget-ms", 0);
+  options.budget.memory_bytes = flags.GetInt("budget-mb", 0) * (1 << 20);
+  auto result = dkc::Solve(g, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "solve: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("method %s k=%d -> %u disjoint cliques in %.1f ms "
+              "(%.1f%% of nodes covered)\n",
+              dkc::MethodName(*method), options.k, result->size(),
+              result->stats.total_ms(),
+              100.0 * result->size() * options.k / g.num_nodes());
+  const dkc::Status valid = dkc::VerifySolution(g, result->set);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "internal error, invalid solution: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    const dkc::Status written = dkc::WriteSolution(result->set, out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("solution written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int RunVerify(const dkc::Flags& flags, const dkc::Graph& g) {
+  const std::string path = flags.GetString("solution", "");
+  if (path.empty()) return Usage();
+  auto solution = dkc::ReadSolution(path);
+  if (!solution.ok()) {
+    std::fprintf(stderr, "%s\n", solution.status().ToString().c_str());
+    return 1;
+  }
+  const dkc::Status status = dkc::VerifySolution(g, *solution);
+  std::printf("%u cliques of size %d: %s\n", solution->size(), solution->k(),
+              status.ToString().c_str());
+  return status.ok() ? 0 : 1;
+}
+
+int RunCover(const dkc::Flags& flags, const dkc::Graph& g) {
+  dkc::ResidualCoverOptions options;
+  options.k = static_cast<int>(flags.GetInt("k", 5));
+  options.min_k = static_cast<int>(flags.GetInt("min-k", 3));
+  options.pair_round = flags.GetBool("pairs", false);
+  auto result = dkc::ResidualCover(g, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("groups by size:\n");
+  for (int k = options.k; k >= (options.pair_round ? 2 : options.min_k);
+       --k) {
+    dkc::Count groups = 0;
+    for (const auto& group : result->groups) groups += (group.k == k);
+    std::printf("  k=%d: %llu groups\n", k,
+                static_cast<unsigned long long>(groups));
+  }
+  std::printf("coverage: %llu / %u nodes (%.1f%%)\n",
+              static_cast<unsigned long long>(result->covered_nodes),
+              g.num_nodes(), 100.0 * result->coverage(g.num_nodes()));
+  return 0;
+}
+
+int RunMatch(const dkc::Flags& flags, const dkc::Graph& g) {
+  dkc::Timer timer;
+  const bool exact = flags.GetBool("exact", false);
+  const dkc::MatchingResult matching =
+      exact ? dkc::MaximumMatching(g) : dkc::GreedyMatching(g);
+  std::printf("%s matching: %llu pairs (%.1f%% of nodes) in %.1f ms\n",
+              exact ? "maximum" : "greedy",
+              static_cast<unsigned long long>(matching.size),
+              100.0 * 2 * matching.size / g.num_nodes(),
+              timer.ElapsedMillis());
+  return dkc::IsValidMatching(g, matching.mate) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dkc::Flags flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string command = flags.positional()[0];
+
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  if (command == "stats") return RunStats(flags, *graph);
+  if (command == "solve") return RunSolve(flags, *graph);
+  if (command == "verify") return RunVerify(flags, *graph);
+  if (command == "cover") return RunCover(flags, *graph);
+  if (command == "match") return RunMatch(flags, *graph);
+  return Usage();
+}

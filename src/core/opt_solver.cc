@@ -56,8 +56,22 @@ StatusOr<SolveResult> SolveOpt(const Graph& g, const OptOptions& options) {
   result.stats.init_ms = timer.ElapsedMillis();
   timer.Restart();
 
-  // Step 3: exact MIS on the clique graph.
-  auto mis = ExactMis(clique_graph->adjacency(), deadline);
+  // Step 3: exact MIS on the clique graph. A disjoint k-clique set uses k
+  // distinct participating nodes per clique, so the packing number is at
+  // most floor(participating / k) — a bound the generic clique-cover bound
+  // inside the MIS search cannot see, and often the exact optimum on
+  // clique-rich graphs (where proving optimality otherwise dominates the
+  // runtime).
+  uint32_t participating = 0;
+  {
+    std::vector<uint8_t> in_clique(g.num_nodes(), 0);
+    for (CliqueId c = 0; c < all.size(); ++c) {
+      for (NodeId u : all.Get(c)) in_clique[u] = 1;
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) participating += in_clique[u];
+  }
+  const uint32_t packing_bound = participating / static_cast<uint32_t>(options.k);
+  auto mis = ExactMis(clique_graph->adjacency(), deadline, packing_bound);
   if (!mis.ok()) return mis.status();
   for (uint32_t c : mis->vertices) {
     result.set.Add(all.Get(static_cast<CliqueId>(c)));

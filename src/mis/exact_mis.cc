@@ -10,13 +10,23 @@ namespace {
 class Solver {
  public:
   Solver(const std::vector<std::vector<uint32_t>>& adj,
-         const Deadline& deadline)
-      : adj_(adj), deadline_(deadline), n_(static_cast<uint32_t>(adj.size())) {
+         const Deadline& deadline, uint32_t upper_bound)
+      : adj_(adj),
+        deadline_(deadline),
+        upper_bound_(upper_bound),
+        n_(static_cast<uint32_t>(adj.size())) {
     state_.assign(n_, kFree);
     degree_.resize(n_);
     for (uint32_t v = 0; v < n_; ++v) {
       degree_[v] = static_cast<uint32_t>(adj_[v].size());
     }
+    // Static degree-descending order for the clique-cover bound: packing
+    // dense vertices first yields far fewer cover cliques (a much tighter
+    // bound) than id order.
+    cover_order_.resize(n_);
+    for (uint32_t v = 0; v < n_; ++v) cover_order_[v] = v;
+    std::sort(cover_order_.begin(), cover_order_.end(),
+              [&](uint32_t a, uint32_t b) { return degree_[a] > degree_[b]; });
   }
 
   StatusOr<ExactMisResult> Run() {
@@ -24,7 +34,7 @@ class Solver {
     bool seed_expired = false;
     best_ = GreedyMinDegreeMis(adj_, deadline_, &seed_expired);
     if (seed_expired) return Status::TimeBudgetExceeded("exact MIS seeding");
-    Recurse();
+    if (best_.size() < upper_bound_) Recurse();
     if (oot_) return Status::TimeBudgetExceeded("exact MIS search");
     result.vertices = best_;
     result.branch_nodes = branch_nodes_;
@@ -116,11 +126,14 @@ class Solver {
   }
 
   // Greedy clique cover of the free subgraph; an IS has at most one vertex
-  // per clique, so the count bounds what remains attainable.
-  uint32_t CliqueCoverBound() {
+  // per clique, so the count bounds what remains attainable. Vertices are
+  // packed in descending-degree order (tighter cover). Stops early once the
+  // count exceeds `cap`: the caller only tests `bound > cap`, so the exact
+  // value past that is irrelevant.
+  uint32_t CliqueCoverBound(uint32_t cap) {
     cover_cliques_.clear();
     uint32_t cliques = 0;
-    for (uint32_t v = 0; v < n_; ++v) {
+    for (uint32_t v : cover_order_) {
       if (state_[v] != kFree) continue;
       bool placed = false;
       for (auto& clique : cover_cliques_) {
@@ -139,14 +152,14 @@ class Solver {
       }
       if (!placed) {
         cover_cliques_.push_back({v});
-        ++cliques;
+        if (++cliques > cap) return cliques;
       }
     }
     return cliques;
   }
 
   void Recurse() {
-    if (oot_) return;
+    if (oot_ || done_) return;
     if ((++branch_nodes_ & 0x3F) == 0 && deadline_.Expired()) {
       oot_ = true;
       return;
@@ -165,9 +178,20 @@ class Solver {
         pivot_degree = degree_[v];
       }
     }
+    // Remaining slack before the bound can prune; 0 when `current_` already
+    // ties or beats `best_` (then any nonempty remainder explores).
+    const uint32_t gap =
+        best_.size() > current_.size()
+            ? static_cast<uint32_t>(best_.size() - current_.size())
+            : 0;
     if (pivot == UINT32_MAX) {  // no free vertex: leaf
-      if (current_.size() > best_.size()) best_ = current_;
-    } else if (current_.size() + CliqueCoverBound() > best_.size()) {
+      if (current_.size() > best_.size()) {
+        best_ = current_;
+        // The caller-supplied bound is attained: nothing larger exists, so
+        // the remaining search would only re-prove optimality.
+        if (best_.size() >= upper_bound_) done_ = true;
+      }
+    } else if (current_.size() + CliqueCoverBound(gap) > best_.size()) {
       {  // include pivot
         Trail branch;
         Take(pivot, &branch);  // pushes exactly pivot onto current_
@@ -175,7 +199,7 @@ class Solver {
         current_.pop_back();
         Undo(branch);
       }
-      if (!oot_) {  // exclude pivot
+      if (!oot_ && !done_) {  // exclude pivot
         Trail branch;
         SetState(pivot, kRemoved, &branch);
         Recurse();
@@ -189,21 +213,25 @@ class Solver {
 
   const std::vector<std::vector<uint32_t>>& adj_;
   Deadline deadline_;
+  uint32_t upper_bound_;
   uint32_t n_;
   std::vector<uint8_t> state_;
   std::vector<uint32_t> degree_;
   std::vector<uint32_t> current_;
   std::vector<uint32_t> best_;
+  std::vector<uint32_t> cover_order_;
   std::vector<std::vector<uint32_t>> cover_cliques_;
   uint64_t branch_nodes_ = 0;
   bool oot_ = false;
+  bool done_ = false;  // incumbent reached upper_bound_; unwind immediately
 };
 
 }  // namespace
 
 StatusOr<ExactMisResult> ExactMis(
-    const std::vector<std::vector<uint32_t>>& adj, const Deadline& deadline) {
-  return Solver(adj, deadline).Run();
+    const std::vector<std::vector<uint32_t>>& adj, const Deadline& deadline,
+    uint32_t upper_bound) {
+  return Solver(adj, deadline, upper_bound).Run();
 }
 
 }  // namespace dkc

@@ -36,9 +36,17 @@ struct ExactMisResult {
 /// structure. Adjacency lists must be sorted ascending (the dominance
 /// reduction binary-searches them). Returns Status::TimeBudgetExceeded
 /// (OOT) if the deadline expires before the search completes.
+///
+/// `upper_bound`, when the caller knows one (e.g. the clique-graph MIS is
+/// at most floor(participating nodes / k) for disjoint k-clique packing),
+/// lets the search stop the moment an incumbent of that size is found:
+/// proving "no larger set exists" is exactly where branch-and-bound spends
+/// its time when the generic clique-cover bound is loose. Must be a true
+/// upper bound on the MIS size or the result may be suboptimal.
 StatusOr<ExactMisResult> ExactMis(
     const std::vector<std::vector<uint32_t>>& adj,
-    const Deadline& deadline = Deadline::Unlimited());
+    const Deadline& deadline = Deadline::Unlimited(),
+    uint32_t upper_bound = UINT32_MAX);
 
 }  // namespace dkc
 

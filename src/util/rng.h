@@ -32,13 +32,15 @@ class Rng {
   /// multiply-shift rejection method to avoid modulo bias.
   uint64_t NextBounded(uint64_t bound) {
     assert(bound > 0);
-    unsigned __int128 product =
-        static_cast<unsigned __int128>(Next()) * bound;
+    // __int128 is a GCC/Clang extension; __extension__ keeps -Wpedantic
+    // builds quiet about it.
+    __extension__ using Uint128 = unsigned __int128;
+    Uint128 product = static_cast<Uint128>(Next()) * bound;
     auto low = static_cast<uint64_t>(product);
     if (low < bound) {
       const uint64_t threshold = (0 - bound) % bound;
       while (low < threshold) {
-        product = static_cast<unsigned __int128>(Next()) * bound;
+        product = static_cast<Uint128>(Next()) * bound;
         low = static_cast<uint64_t>(product);
       }
     }

@@ -143,9 +143,10 @@ TEST(BasicFrameworkTest, KApproximationHolds) {
     auto result = SolveBasic(g, options);
     ASSERT_TRUE(result.ok());
     const size_t optimal = testing::BruteForceMaxDisjointPacking(g, k);
-    EXPECT_LE(optimal, static_cast<size_t>(k) * result->size() +
-                           (optimal == 0 ? 0 : 0));
-    if (optimal > 0) EXPECT_GE(result->size(), 1u);
+    EXPECT_LE(optimal, static_cast<size_t>(k) * result->size());
+    if (optimal > 0) {
+      EXPECT_GE(result->size(), 1u);
+    }
   }
 }
 

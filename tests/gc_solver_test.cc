@@ -172,7 +172,7 @@ TEST_P(GcSweep, ValidMaximalAndNeverWorseThanHalfOptimal) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, GcSweep,
-    ::testing::Combine(::testing::Values(16, 22), ::testing::Values(0.3, 0.5),
+    ::testing::Combine(::testing::Values(16, 22, 30), ::testing::Values(0.3, 0.5),
                        ::testing::Values(3, 4)));
 
 }  // namespace

@@ -146,7 +146,7 @@ TEST_P(LightweightSweep, ValidMaximalKApproximation) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, LightweightSweep,
-    ::testing::Combine(::testing::Values(16, 24), ::testing::Values(0.3, 0.5),
+    ::testing::Combine(::testing::Values(16, 24, 32), ::testing::Values(0.3, 0.5),
                        ::testing::Values(3, 4), ::testing::Bool()));
 
 TEST(LightweightTest, QualityAtLeastMatchesBasicOnCluey) {

@@ -209,6 +209,44 @@ TEST_P(ExactMisSweep, MatchesBruteForceAndIsIndependent) {
 INSTANTIATE_TEST_SUITE_P(Random, ExactMisSweep,
                          ::testing::Range<uint64_t>(0, 15));
 
+TEST(ExactMisTest, UpperBoundStopsAtIncumbent) {
+  // With a caller-supplied tight bound the search may stop at the first
+  // incumbent of that size; the result must still be that optimum.
+  Adj adj = {{1, 4}, {0, 2}, {1, 3}, {2, 4}, {0, 3}};  // C5, MIS = 2
+  auto bounded = ExactMis(adj, Deadline::Unlimited(), /*upper_bound=*/2);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->vertices.size(), 2u);
+  EXPECT_TRUE(IsIndependentSet(adj, bounded->vertices));
+}
+
+TEST(ExactMisTest, LooseUpperBoundDoesNotChangeTheOptimum) {
+  // A bound above the true MIS must leave the result exact: the search
+  // cannot terminate early, so it behaves like the unbounded call.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Adj adj = RandomAdjacency(14, 0.35, seed * 17 + 3);
+    auto unbounded = ExactMis(adj);
+    auto bounded = ExactMis(adj, Deadline::Unlimited(),
+                            static_cast<uint32_t>(adj.size()));
+    ASSERT_TRUE(unbounded.ok() && bounded.ok());
+    EXPECT_EQ(bounded->vertices.size(), unbounded->vertices.size());
+    EXPECT_TRUE(IsIndependentSet(adj, bounded->vertices));
+    EXPECT_EQ(bounded->vertices.size(), BruteForceMisSize(adj));
+  }
+}
+
+TEST(ExactMisTest, TightUpperBoundPrunesProvingWork) {
+  // The whole point of the bound: when greedy already finds an MIS of the
+  // promised size, the exact search should not branch at all.
+  Adj adj = RandomAdjacency(40, 0.9, 11);  // dense => tiny MIS, greedy-easy
+  auto unbounded = ExactMis(adj);
+  ASSERT_TRUE(unbounded.ok());
+  auto bounded = ExactMis(adj, Deadline::Unlimited(),
+                          static_cast<uint32_t>(unbounded->vertices.size()));
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->vertices.size(), unbounded->vertices.size());
+  EXPECT_LE(bounded->branch_nodes, unbounded->branch_nodes);
+}
+
 TEST(ExactMisTest, AtLeastAsGoodAsGreedy) {
   for (uint64_t seed = 0; seed < 5; ++seed) {
     Adj adj = RandomAdjacency(40, 0.2, seed);

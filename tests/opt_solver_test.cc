@@ -104,6 +104,43 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(12, 16, 20),
                        ::testing::Values(0.3, 0.5), ::testing::Values(3, 4)));
 
+TEST(OptSolverTest, LoosePackingBoundStaysExact) {
+  // Windmill graph: t triangles all sharing one hub node. The packing upper
+  // bound floor(participating / k) = floor((2t+1)/3) is far above the true
+  // optimum of 1 (every pair of triangles collides on the hub), so the
+  // early-stop bound cannot fire and the MIS search must still prove
+  // optimality the hard way.
+  constexpr NodeId kTriangles = 6;
+  GraphBuilder builder;
+  for (NodeId t = 0; t < kTriangles; ++t) {
+    const NodeId a = 1 + 2 * t;
+    builder.AddEdge(0, a);
+    builder.AddEdge(0, a + 1);
+    builder.AddEdge(a, a + 1);
+  }
+  const Graph g = builder.Build();
+  OptOptions options;
+  options.k = 3;
+  auto result = SolveOpt(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(OptSolverTest, CliqueRichInstanceNoLongerPathological) {
+  // Regression for the exact-MIS early stop: this exact instance (ER n=24,
+  // p=0.5, k=3; 249 triangles, optimum 8 = floor(24/3)) used to spend ~24s
+  // proving no 9th disjoint triangle exists. With the packing bound the
+  // greedy incumbent certifies optimality immediately.
+  Rng rng(2 * 101 + 24 * 3);
+  const Graph g = ErdosRenyi(24, 0.5, rng).value();
+  OptOptions options;
+  options.k = 3;
+  auto result = SolveOpt(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 8u);
+  EXPECT_TRUE(VerifyDisjointCliques(g, result->set).ok());
+}
+
 TEST(OptSolverTest, LpWithinKFactorOfOpt) {
   // Theorem 3 instantiated against the true optimum computed by OPT.
   for (uint64_t seed = 0; seed < 5; ++seed) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+
 namespace dkc {
 namespace {
 
@@ -87,6 +91,43 @@ TEST(StatusOrTest, MoveOutValue) {
 TEST(StatusOrTest, ArrowOperator) {
   StatusOr<std::string> v = std::string("abc");
   EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusOrTest, HoldsMoveOnlyType) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, MoveConstructionPreservesValue) {
+  StatusOr<std::string> original = std::string("payload");
+  StatusOr<std::string> moved = std::move(original);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, "payload");
+}
+
+TEST(StatusOrTest, MoveConstructionPreservesError) {
+  StatusOr<int> original = Status::TimeBudgetExceeded("slow");
+  StatusOr<int> moved = std::move(original);
+  EXPECT_FALSE(moved.ok());
+  EXPECT_TRUE(moved.status().IsTimeBudgetExceeded());
+  EXPECT_EQ(moved.status().message(), "slow");
+}
+
+TEST(StatusOrTest, ErrorRendersOotOomMarkers) {
+  StatusOr<int> oot = Status::TimeBudgetExceeded();
+  StatusOr<int> oom = Status::MemoryBudgetExceeded();
+  EXPECT_NE(oot.status().ToString().find("(OOT)"), std::string::npos);
+  EXPECT_NE(oom.status().ToString().find("(OOM)"), std::string::npos);
+}
+
+TEST(StatusOrTest, MutableAccessThroughReference) {
+  StatusOr<std::string> v = std::string("ab");
+  v.value() += "c";
+  *v += "d";
+  EXPECT_EQ(*v, "abcd");
 }
 
 TEST(StatusMacroTest, ReturnIfErrorPropagates) {

@@ -7,8 +7,11 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "clique/clique_store.h"
 #include "gen/generators.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
@@ -111,6 +114,109 @@ inline Graph RandomGraph(NodeId n, double p, uint64_t seed) {
   Rng rng(seed);
   auto g = ErdosRenyi(n, p, rng);
   return std::move(g).value();
+}
+
+/// Naive re-validation of a solver's output: every member must be a k-clique
+/// of `g` with distinct in-range nodes, and members must be pairwise
+/// node-disjoint. Returns "" on success, else a description of the first
+/// violation. Independent of core/verify.cc on purpose — the differential
+/// harness cross-checks the two.
+inline std::string OracleCheckDisjointCliques(const Graph& g,
+                                              const CliqueStore& set) {
+  const int k = set.k();
+  std::vector<uint8_t> used(g.num_nodes(), 0);
+  for (CliqueId c = 0; c < set.size(); ++c) {
+    const auto clique = set.Get(c);
+    for (int i = 0; i < k; ++i) {
+      const NodeId u = clique[i];
+      if (u >= g.num_nodes()) {
+        std::ostringstream os;
+        os << "clique " << c << " node " << u << " out of range";
+        return os.str();
+      }
+      if (used[u]) {
+        std::ostringstream os;
+        os << "node " << u << " used by clique " << c << " and an earlier one";
+        return os.str();
+      }
+      used[u] = 1;
+      for (int j = i + 1; j < k; ++j) {
+        if (clique[i] == clique[j] || !g.HasEdge(clique[i], clique[j])) {
+          std::ostringstream os;
+          os << "clique " << c << " pair (" << clique[i] << "," << clique[j]
+             << ") is not an edge";
+          return os.str();
+        }
+      }
+    }
+  }
+  return "";
+}
+
+/// True iff the nodes of `g` not used by `set` contain no k-clique, i.e.
+/// `set` is maximal. Pruned recursive search restricted to free nodes.
+inline bool OracleCheckMaximal(const Graph& g, const CliqueStore& set) {
+  const int k = set.k();
+  std::vector<uint8_t> used(g.num_nodes(), 0);
+  for (CliqueId c = 0; c < set.size(); ++c) {
+    for (NodeId u : set.Get(c)) used[u] = 1;
+  }
+  std::vector<NodeId> current;
+  bool found = false;
+  auto extend = [&](auto&& self, NodeId start) -> void {
+    if (found) return;
+    if (current.size() == static_cast<size_t>(k)) {
+      found = true;
+      return;
+    }
+    for (NodeId v = start; v < g.num_nodes() && !found; ++v) {
+      if (used[v]) continue;
+      bool ok = true;
+      for (NodeId u : current) {
+        if (!g.HasEdge(u, v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      current.push_back(v);
+      self(self, v + 1);
+      current.pop_back();
+    }
+  };
+  extend(extend, 0);
+  return !found;
+}
+
+/// Mixed-model random instance for the differential harness: cycles through
+/// Erdős–Rényi, Watts–Strogatz, Barabási–Albert, and planted-partition so
+/// every solver sees sparse, clustered, heavy-tailed, and community-shaped
+/// graphs. Deterministic per (case_index, seed).
+inline Graph RandomGraphMixed(int case_index, uint64_t seed) {
+  Rng rng(seed * 0x9E3779B9ull + static_cast<uint64_t>(case_index));
+  switch (case_index % 4) {
+    case 0: {
+      const NodeId n = 20 + static_cast<NodeId>(case_index % 5) * 5;
+      const double p = 0.20 + 0.05 * static_cast<double>(case_index % 4);
+      return ErdosRenyi(n, p, rng).value();
+    }
+    case 1: {
+      const NodeId n = 24 + static_cast<NodeId>(case_index % 3) * 8;
+      return WattsStrogatz(n, 6, 0.2, rng).value();
+    }
+    case 2: {
+      const NodeId n = 25 + static_cast<NodeId>(case_index % 4) * 6;
+      return BarabasiAlbert(n, 4, rng).value();
+    }
+    default: {
+      PlantedPartitionSpec spec;
+      spec.num_communities = 4;
+      spec.community_size = 7 + static_cast<NodeId>(case_index % 3);
+      spec.p_in = 0.6;
+      spec.p_out = 0.02;
+      return PlantedPartition(spec, rng).value();
+    }
+  }
 }
 
 /// Canonical (sorted) form of a clique set for set-equality comparisons.

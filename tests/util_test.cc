@@ -26,7 +26,7 @@ TEST(TimerTest, ElapsedIsMonotonic) {
 TEST(TimerTest, UnitsAreConsistent) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   const double seconds = t.ElapsedSeconds();
   const double millis = t.ElapsedMillis();
   EXPECT_NEAR(millis, seconds * 1e3, seconds * 1e3 * 0.5 + 1.0);
@@ -35,7 +35,7 @@ TEST(TimerTest, UnitsAreConsistent) {
 TEST(TimerTest, RestartResets) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   const double before = t.ElapsedNanos();
   t.Restart();
   EXPECT_LT(t.ElapsedNanos(), before + 1000000000LL);
@@ -244,6 +244,45 @@ TEST(FlagsTest, DoubleParsing) {
   const char* argv[] = {"prog", "--beta=0.25"};
   Flags flags(2, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0.0), 0.25);
+}
+
+TEST(FlagsTest, EmptyArgvIsHarmless) {
+  Flags flags(0, nullptr);
+  EXPECT_EQ(flags.program_name(), "");
+  EXPECT_TRUE(flags.positional().empty());
+  EXPECT_FALSE(flags.Has("anything"));
+  EXPECT_EQ(flags.GetInt("k", 3), 3);
+}
+
+TEST(FlagsTest, DuplicateFlagLastOneWins) {
+  const char* argv[] = {"prog", "--k=3", "--k=7"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 0), 7);
+}
+
+TEST(FlagsTest, EmptyValueIsPresentButEmpty) {
+  const char* argv[] = {"prog", "--name="};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.Has("name"));
+  EXPECT_EQ(flags.GetString("name", "default"), "");
+  // Numeric lookups on an empty value fall back to strtoll/strtod of "".
+  EXPECT_EQ(flags.GetInt("name", 9), 0);
+}
+
+TEST(FlagsTest, UnknownFlagFallsBackToDefaults) {
+  const char* argv[] = {"prog", "--known=1"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.Has("unknown"));
+  EXPECT_EQ(flags.GetString("unknown", "d"), "d");
+  EXPECT_TRUE(flags.GetBool("unknown", true));
+  EXPECT_FALSE(flags.GetBool("unknown", false));
+}
+
+TEST(FlagsTest, NonNumericValueParsesAsZero) {
+  const char* argv[] = {"prog", "--k=abc"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 5), 0);
+  EXPECT_EQ(flags.GetDouble("k", 5.0), 0.0);
 }
 
 }  // namespace

@@ -9,10 +9,13 @@
 //   --gc-mem-mb=<mb> memory budget for clique-storing methods (GC/OPT)
 //   --opt-ms=<ms>    time budget for the exact baseline
 //   --kmin/--kmax    k range (default 3..6, as in the paper)
+//   --smoke          CI mode: shrink scale/budgets/k so the harness
+//                    finishes in seconds and merely proves it still runs
 
 #ifndef DKC_BENCH_BENCH_COMMON_H_
 #define DKC_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -30,6 +33,7 @@ struct BenchConfig {
   int64_t gc_mem_mb = 1024;   // clique-store budget (GC/OPT OOM reproduction)
   int kmin = 3;
   int kmax = 6;
+  bool smoke = false;         // CI smoke mode: tiny scale, tight budgets
 
   static BenchConfig FromFlags(const Flags& flags) {
     BenchConfig config;
@@ -39,6 +43,16 @@ struct BenchConfig {
     config.gc_mem_mb = flags.GetInt("gc-mem-mb", config.gc_mem_mb);
     config.kmin = static_cast<int>(flags.GetInt("kmin", config.kmin));
     config.kmax = static_cast<int>(flags.GetInt("kmax", config.kmax));
+    config.smoke = flags.GetBool("smoke", false);
+    if (config.smoke) {
+      // Keep the harness exercised in CI without paying table-scale cost:
+      // every dataset shrinks ~10x and budgets drop so a wedged solver
+      // shows up as OOT instead of a hung job.
+      config.scale = std::min(config.scale, 0.1);
+      config.budget_ms = std::min(config.budget_ms, 5000.0);
+      config.opt_ms = std::min(config.opt_ms, 250.0);
+      config.kmax = std::min(config.kmax, 4);
+    }
     return config;
   }
 };

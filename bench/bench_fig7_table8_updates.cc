@@ -68,7 +68,8 @@ UpdateRun Run(const dkc::Graph& start,
 int main(int argc, char** argv) {
   dkc::Flags flags(argc, argv);
   const auto config = dkc::bench::BenchConfig::FromFlags(flags);
-  const size_t w = static_cast<size_t>(flags.GetInt("updates", 1000));
+  const size_t w = static_cast<size_t>(
+      flags.GetInt("updates", config.smoke ? 100 : 1000));
 
   struct RowResult {
     std::string name;

@@ -2,58 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
 namespace dkc {
 
-void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
-                     std::vector<NodeId>* out) {
-  out->clear();
-  // Galloping would help at extreme size skew, but the DAG out-degrees are
-  // degeneracy-bounded on our inputs, so the plain merge wins in practice.
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      out->push_back(a[i]);
-      ++i;
-      ++j;
-    }
-  }
-}
-
-KCliqueEnumerator::KCliqueEnumerator(const Dag& dag, int k)
-    : dag_(dag), k_(k) {
-  prefix_.reserve(static_cast<size_t>(k));
-  const int levels = k >= 3 ? k - 2 : 0;
-  scratch_.resize(levels);
-  for (auto& buf : scratch_) {
-    buf.reserve(dag_.MaxOutDegree());
-  }
-}
-
 Count KCliqueEnumerator::CountRooted(NodeId u) {
   if (k_ == 1) return 1;
-  auto out = dag_.OutNeighbors(u);
-  if (out.size() + 1 < static_cast<size_t>(k_)) return 0;
-  return CountRec(k_ - 1, out, 0);
-}
-
-Count KCliqueEnumerator::CountRec(int remaining, std::span<const NodeId> cand,
-                                  int depth) {
-  if (remaining == 1) return cand.size();
-  Count total = 0;
-  for (NodeId v : cand) {
-    if (dag_.OutDegree(v) + 1 < static_cast<Count>(remaining)) continue;
-    auto& next = scratch_[depth];
-    IntersectSorted(cand, dag_.OutNeighbors(v), &next);
-    if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
-    total += CountRec(remaining - 1, next, depth + 1);
-  }
-  return total;
+  if (dag_.OutDegree(u) + 1 < static_cast<Count>(k_)) return 0;
+  kernel_.BuildFromRoot(dag_, u);
+  return kernel_.CountCliques(k_ - 1);
 }
 
 Count KCliqueEnumerator::ScoreRooted(NodeId u, std::vector<Count>* counts) {
@@ -61,79 +17,14 @@ Count KCliqueEnumerator::ScoreRooted(NodeId u, std::vector<Count>* counts) {
     ++(*counts)[u];
     return 1;
   }
-  auto out = dag_.OutNeighbors(u);
-  if (out.size() + 1 < static_cast<size_t>(k_)) return 0;
-  prefix_.assign(1, u);
-  return ScoreRec(k_ - 1, out, 0, counts);
-}
-
-Count KCliqueEnumerator::ScoreRec(int remaining, std::span<const NodeId> cand,
-                                  int depth, std::vector<Count>* counts) {
-  if (remaining == 1) {
-    // Every candidate closes one clique with the current prefix: candidates
-    // gain 1 each, every prefix node gains |cand|.
-    for (NodeId v : cand) ++(*counts)[v];
-    for (NodeId p : prefix_) (*counts)[p] += cand.size();
-    return cand.size();
-  }
-  Count total = 0;
-  for (NodeId v : cand) {
-    if (dag_.OutDegree(v) + 1 < static_cast<Count>(remaining)) continue;
-    auto& next = scratch_[depth];
-    IntersectSorted(cand, dag_.OutNeighbors(v), &next);
-    if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
-    prefix_.push_back(v);
-    total += ScoreRec(remaining - 1, next, depth + 1, counts);
-    prefix_.pop_back();
-  }
+  if (dag_.OutDegree(u) + 1 < static_cast<Count>(k_)) return 0;
+  kernel_.BuildFromRoot(dag_, u);
+  // The kernel credits the (k-1)-clique members; every one of those cliques
+  // also contains the root, which therefore gains the rooted total.
+  const Count total = kernel_.ScoreCliques(k_ - 1, counts);
+  (*counts)[u] += total;
   return total;
 }
-
-namespace {
-
-// Shared driver for the whole-graph counting entry points: iterate roots,
-// optionally on a pool, optionally deadline-checked. `per_root` must be
-// callable concurrently on distinct worker states.
-template <typename MakeState, typename PerRoot, typename Merge>
-bool DriveRoots(const Dag& dag, ThreadPool* pool, const Deadline& deadline,
-                MakeState make_state, PerRoot per_root, Merge merge) {
-  const NodeId n = dag.num_nodes();
-  if (pool == nullptr || pool->num_threads() <= 1 || n < 1024) {
-    auto state = make_state();
-    for (NodeId u = 0; u < n; ++u) {
-      if ((u & 0xFF) == 0 && deadline.Expired()) return false;
-      per_root(u, &state);
-    }
-    merge(&state);
-    return true;
-  }
-  std::atomic<NodeId> cursor{0};
-  std::atomic<bool> expired{false};
-  std::mutex merge_mu;
-  const size_t workers = pool->num_threads();
-  for (size_t w = 0; w < workers; ++w) {
-    pool->Submit([&] {
-      auto state = make_state();
-      constexpr NodeId kChunk = 256;
-      for (;;) {
-        const NodeId begin = cursor.fetch_add(kChunk);
-        if (begin >= n || expired.load(std::memory_order_relaxed)) break;
-        if (deadline.Expired()) {
-          expired.store(true, std::memory_order_relaxed);
-          break;
-        }
-        const NodeId end = std::min<NodeId>(n, begin + kChunk);
-        for (NodeId u = begin; u < end; ++u) per_root(u, &state);
-      }
-      std::lock_guard<std::mutex> lock(merge_mu);
-      merge(&state);
-    });
-  }
-  pool->Wait();
-  return !expired.load();
-}
-
-}  // namespace
 
 Count CountKCliques(const Dag& dag, int k, ThreadPool* pool,
                     const Deadline& deadline, bool* oot) {
@@ -143,7 +34,7 @@ Count CountKCliques(const Dag& dag, int k, ThreadPool* pool,
     Count local = 0;
   };
   const bool completed = DriveRoots(
-      dag, pool, deadline,
+      dag.num_nodes(), pool, deadline,
       [&] { return State{KCliqueEnumerator(dag, k), 0}; },
       [](NodeId u, State* s) { s->local += s->enumerator.CountRooted(u); },
       [&](State* s) { total.fetch_add(s->local); });
@@ -162,7 +53,7 @@ NodeScores ComputeNodeScores(const Dag& dag, int k, ThreadPool* pool,
     Count local_total = 0;
   };
   const bool completed = DriveRoots(
-      dag, pool, deadline,
+      dag.num_nodes(), pool, deadline,
       [&] {
         return State{KCliqueEnumerator(dag, k),
                      std::vector<Count>(dag.num_nodes(), 0), 0};
@@ -184,57 +75,10 @@ NodeScores ComputeNodeScores(const Dag& dag, int k, ThreadPool* pool,
 void ForEachKCliqueInSubset(
     const DynamicGraph& g, std::span<const NodeId> subset, int k,
     const std::function<bool(std::span<const NodeId>)>& cb) {
-  const size_t s = subset.size();
-  if (s < static_cast<size_t>(k)) return;
-  // Local induced adjacency, oriented by subset position (a valid total
-  // order), so each clique comes out exactly once.
-  std::vector<std::vector<NodeId>> out_local(s);  // positions, ascending
-  for (size_t i = 0; i < s; ++i) {
-    for (size_t j = i + 1; j < s; ++j) {
-      if (g.HasEdge(subset[i], subset[j])) {
-        out_local[j].push_back(static_cast<NodeId>(i));
-      }
-    }
-  }
-  std::vector<NodeId> prefix;  // positions
-  std::vector<std::vector<NodeId>> scratch(k >= 3 ? k - 2 : 0);
-  std::vector<NodeId> clique(k);
-  bool stopped = false;
-
-  // Depth-first over positions, mirroring KCliqueEnumerator.
-  auto emit = [&](std::span<const NodeId> positions) {
-    for (size_t i = 0; i < positions.size(); ++i) {
-      clique[i] = subset[positions[i]];
-    }
-    return cb(std::span<const NodeId>(clique.data(), positions.size()));
-  };
-  std::function<bool(int, std::span<const NodeId>, int)> recurse =
-      [&](int remaining, std::span<const NodeId> cand, int depth) -> bool {
-    if (remaining == 1) {
-      for (NodeId v : cand) {
-        prefix.push_back(v);
-        const bool keep_going = emit(prefix);
-        prefix.pop_back();
-        if (!keep_going) return false;
-      }
-      return true;
-    }
-    for (NodeId v : cand) {
-      auto& next = scratch[depth];
-      IntersectSorted(cand, out_local[v], &next);
-      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
-      prefix.push_back(v);
-      const bool keep_going = recurse(remaining - 1, next, depth + 1);
-      prefix.pop_back();
-      if (!keep_going) return false;
-    }
-    return true;
-  };
-  for (size_t root = 0; root < s && !stopped; ++root) {
-    if (out_local[root].size() + 1 < static_cast<size_t>(k)) continue;
-    prefix.assign(1, static_cast<NodeId>(root));
-    stopped = !recurse(k - 1, out_local[root], 0);
-  }
+  if (subset.size() < static_cast<size_t>(k)) return;
+  NeighborhoodKernel kernel;
+  kernel.BuildFromSubset(g, subset);
+  kernel.ForEachClique(k, cb);
 }
 
 }  // namespace dkc

@@ -1,7 +1,10 @@
 // k-clique listing and counting kernels in the kClist style of Danisch,
 // Balalau, Sozio (WWW'18) [13]: orient the graph along a total ordering,
 // then every k-clique is {u} ∪ ((k-1)-clique inside N+(u)) for a unique
-// root u, found by repeated sorted-set intersection of out-neighborhoods.
+// root u. The per-root search itself is delegated to the shared
+// NeighborhoodKernel (clique/neighborhood.h): the induced out-neighborhood
+// is materialized once with dense local ids and bit-matrix adjacency, so
+// deeper levels intersect by word-wise AND instead of sorted merges.
 //
 // The counting entry points never materialize cliques — that is the
 // observation the paper's lightweight algorithm (Algorithm 3, line 2) is
@@ -15,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "clique/neighborhood.h"
 #include "graph/dag.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
@@ -23,16 +27,12 @@
 
 namespace dkc {
 
-/// out = a ∩ b for sorted unique spans. `out` is overwritten.
-void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
-                     std::vector<NodeId>* out);
-
-/// Reusable k-clique enumeration state for one DAG. Not thread-safe; create
-/// one enumerator per thread.
+/// Reusable k-clique enumeration state for one DAG: a thin adapter over
+/// NeighborhoodKernel. Not thread-safe; create one enumerator per thread.
 class KCliqueEnumerator {
  public:
-  /// `k >= 2`. The enumerator borrows `dag`, which must outlive it.
-  KCliqueEnumerator(const Dag& dag, int k);
+  /// `k >= 1`. The enumerator borrows `dag`, which must outlive it.
+  KCliqueEnumerator(const Dag& dag, int k) : dag_(dag), k_(k) {}
 
   /// Invoke `cb(nodes)` once per k-clique, where `nodes` is a span of k node
   /// ids in descending DAG-rank order (nodes[0] is the root). `cb` returns
@@ -51,13 +51,12 @@ class KCliqueEnumerator {
   template <typename F>
   bool ForEachRooted(NodeId u, F&& cb) {
     if (k_ == 1) {
-      prefix_.assign(1, u);
-      return cb(std::span<const NodeId>(prefix_));
+      const NodeId self[1] = {u};
+      return cb(std::span<const NodeId>(self, 1));
     }
-    auto out = dag_.OutNeighbors(u);
-    if (out.size() + 1 < static_cast<size_t>(k_)) return true;
-    prefix_.assign(1, u);
-    return Recurse(k_ - 1, out, 0, cb);
+    if (dag_.OutDegree(u) + 1 < static_cast<Count>(k_)) return true;
+    kernel_.BuildFromRoot(dag_, u);
+    return kernel_.ForEachClique(k_ - 1, cb);
   }
 
   /// Number of k-cliques rooted at `u`.
@@ -69,39 +68,9 @@ class KCliqueEnumerator {
   Count ScoreRooted(NodeId u, std::vector<Count>* counts);
 
  private:
-  template <typename F>
-  bool Recurse(int remaining, std::span<const NodeId> cand, int depth,
-               F&& cb) {
-    if (remaining == 1) {
-      for (NodeId v : cand) {
-        prefix_.push_back(v);
-        const bool keep_going = cb(std::span<const NodeId>(prefix_));
-        prefix_.pop_back();
-        if (!keep_going) return false;
-      }
-      return true;
-    }
-    for (NodeId v : cand) {
-      if (dag_.OutDegree(v) + 1 < static_cast<Count>(remaining)) continue;
-      auto& next = scratch_[depth];
-      IntersectSorted(cand, dag_.OutNeighbors(v), &next);
-      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
-      prefix_.push_back(v);
-      const bool keep_going = Recurse(remaining - 1, next, depth + 1, cb);
-      prefix_.pop_back();
-      if (!keep_going) return false;
-    }
-    return true;
-  }
-
-  Count CountRec(int remaining, std::span<const NodeId> cand, int depth);
-  Count ScoreRec(int remaining, std::span<const NodeId> cand, int depth,
-                 std::vector<Count>* counts);
-
   const Dag& dag_;
   int k_;
-  std::vector<NodeId> prefix_;
-  std::vector<std::vector<NodeId>> scratch_;  // one intersection buffer/level
+  NeighborhoodKernel kernel_;
 };
 
 /// Total number of k-cliques in the DAG'ed graph. Optionally parallel over

@@ -1,0 +1,261 @@
+#include "clique/neighborhood.h"
+
+#include <algorithm>
+
+namespace dkc {
+namespace {
+
+// Intersects by exponential probing: for each element of the small list,
+// gallop forward in the large one. O(|small| * log(|large|/|small|)) — the
+// win over the two-pointer merge once the size skew passes kGallopSkew.
+void IntersectGalloping(std::span<const NodeId> small,
+                        std::span<const NodeId> large,
+                        std::vector<NodeId>* out) {
+  size_t lo = 0;
+  for (NodeId x : small) {
+    if (lo >= large.size()) break;
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < large.size() && large[hi] < x) {
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    const size_t end = std::min(hi, large.size());
+    const NodeId* it = std::lower_bound(large.data() + lo, large.data() + end, x);
+    lo = static_cast<size_t>(it - large.data());
+    if (lo < large.size() && large[lo] == x) {
+      out->push_back(x);
+      ++lo;
+    }
+  }
+}
+
+}  // namespace
+
+void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
+                     std::vector<NodeId>* out) {
+  out->clear();
+  if (a.size() > b.size()) std::swap(a, b);
+  if (!a.empty() && a.size() * kGallopSkew <= b.size()) {
+    IntersectGalloping(a, b, out);
+    return;
+  }
+  // Degeneracy-bounded DAG out-lists are near-equal in size, so the plain
+  // merge is the common case; galloping only pays at extreme skew.
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void NeighborhoodKernel::PrepareMap(NodeId num_nodes) {
+  if (local_of_.size() < num_nodes) local_of_.resize(num_nodes, kNoLocal);
+  for (NodeId v : map_entries_) local_of_[v] = kNoLocal;
+  map_entries_.clear();
+}
+
+NodeId NeighborhoodKernel::BuildFromRoot(const Dag& dag, NodeId root,
+                                         const uint8_t* valid) {
+  PrepareMap(dag.num_nodes());
+  has_root_ = true;
+  root_ = root;
+  local_nodes_.clear();
+  dag.InducedOutNeighborhood(root, valid, &local_nodes_);
+  s_ = static_cast<NodeId>(local_nodes_.size());
+  for (NodeId i = 0; i < s_; ++i) local_of_[local_nodes_[i]] = i;
+  map_entries_ = local_nodes_;
+
+  use_bitmap_ = s_ <= kMaxBitmapNodes;
+  local_deg_.assign(s_, 0);
+  if (use_bitmap_) {
+    words_ = (s_ + 63) / 64;
+    rows_.assign(static_cast<size_t>(s_) * words_, 0);
+    for (NodeId i = 0; i < s_; ++i) {
+      uint64_t* row = rows_.data() + static_cast<size_t>(i) * words_;
+      for (NodeId w : dag.OutNeighbors(local_nodes_[i])) {
+        const NodeId j = local_of_[w];
+        if (j == kNoLocal) continue;
+        row[j >> 6] |= uint64_t{1} << (j & 63);
+        ++local_deg_[i];
+      }
+    }
+  } else {
+    adj_offsets_.assign(s_ + 1, 0);
+    adj_list_.clear();
+    for (NodeId i = 0; i < s_; ++i) {
+      // OutNeighbors is ascending in node id and local ids are assigned in
+      // that same order, so each local list comes out sorted.
+      for (NodeId w : dag.OutNeighbors(local_nodes_[i])) {
+        if (local_of_[w] != kNoLocal) adj_list_.push_back(local_of_[w]);
+      }
+      adj_offsets_[i + 1] = static_cast<Count>(adj_list_.size());
+      local_deg_[i] = adj_offsets_[i + 1] - adj_offsets_[i];
+    }
+  }
+  return s_;
+}
+
+NodeId NeighborhoodKernel::BuildFromSubset(const DynamicGraph& g,
+                                           std::span<const NodeId> subset) {
+  has_root_ = false;
+  local_nodes_.assign(subset.begin(), subset.end());
+  s_ = static_cast<NodeId>(subset.size());
+
+  use_bitmap_ = s_ <= kMaxBitmapNodes;
+  local_deg_.assign(s_, 0);
+  if (use_bitmap_) {
+    words_ = (s_ + 63) / 64;
+    rows_.assign(static_cast<size_t>(s_) * words_, 0);
+  } else {
+    adj_offsets_.assign(s_ + 1, 0);
+    adj_list_.clear();
+  }
+  // No global-id map here: `subset` and every neighbor list are sorted, so
+  // a two-pointer walk recovers local positions without touching O(n)
+  // state — this path runs once per dynamic update on tiny subsets.
+  for (NodeId j = 0; j < s_; ++j) {
+    const auto neighbors = g.Neighbors(subset[j]);
+    size_t ni = 0;
+    // Orientation by position: row j keeps only adjacent positions i < j,
+    // so each clique is rooted at its highest position exactly once.
+    for (NodeId i = 0; i < j && ni < neighbors.size(); ++i) {
+      while (ni < neighbors.size() && neighbors[ni] < subset[i]) ++ni;
+      if (ni < neighbors.size() && neighbors[ni] == subset[i]) {
+        if (use_bitmap_) {
+          rows_[static_cast<size_t>(j) * words_ + (i >> 6)] |=
+              uint64_t{1} << (i & 63);
+        } else {
+          adj_list_.push_back(i);
+        }
+        ++local_deg_[j];
+      }
+    }
+    if (!use_bitmap_) {
+      adj_offsets_[j + 1] = static_cast<Count>(adj_list_.size());
+    }
+  }
+  return s_;
+}
+
+namespace {
+
+struct CountVisitor {
+  static constexpr bool kLeafIterates = false;
+  Count total = 0;
+  bool Enter(NodeId) { return true; }
+  void Exit(NodeId) {}
+  bool LeafCount(Count n) {
+    total += n;
+    return true;
+  }
+  bool LeafId(NodeId) { return true; }
+};
+
+struct ScoreVisitor {
+  static constexpr bool kLeafIterates = true;
+  const NodeId* local_nodes;
+  Count* counts;
+  std::vector<NodeId>* prefix;  // local ids
+  Count total = 0;
+  bool Enter(NodeId i) {
+    prefix->push_back(i);
+    return true;
+  }
+  void Exit(NodeId) { prefix->pop_back(); }
+  bool LeafCount(Count n) {
+    // Every candidate closes one clique with the current prefix: each
+    // prefix node gains n; the candidates themselves gain 1 each (LeafId).
+    total += n;
+    for (NodeId p : *prefix) counts[local_nodes[p]] += n;
+    return true;
+  }
+  bool LeafId(NodeId i) {
+    ++counts[local_nodes[i]];
+    return true;
+  }
+};
+
+struct MinScoreVisitor {
+  static constexpr bool kLeafIterates = true;
+  const Count* local_scores;
+  bool prune;
+  Count running;  // base + scores of the current prefix
+  std::vector<NodeId>* prefix;  // local ids
+  std::vector<NodeId>* best;    // local ids
+  Count best_score = 0;
+  bool have_best = false;
+  bool Enter(NodeId i) {
+    // Scores are non-negative, so the running sum lower-bounds every
+    // completion of the branch: cutting here skips only strictly-worse
+    // cliques and cannot change the first-found-in-DFS-order minimum.
+    if (prune && have_best && running + local_scores[i] > best_score) {
+      return false;
+    }
+    prefix->push_back(i);
+    running += local_scores[i];
+    return true;
+  }
+  void Exit(NodeId i) {
+    running -= local_scores[i];
+    prefix->pop_back();
+  }
+  bool LeafCount(Count) { return true; }
+  bool LeafId(NodeId i) {
+    const Count total = running + local_scores[i];
+    if (!have_best || total < best_score) {
+      best_score = total;
+      *best = *prefix;
+      best->push_back(i);
+      have_best = true;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Count NeighborhoodKernel::CountCliques(int q) {
+  CountVisitor visitor;
+  Visit(q, visitor);
+  return visitor.total;
+}
+
+Count NeighborhoodKernel::ScoreCliques(int q, std::vector<Count>* counts) {
+  prefix_scratch_.clear();
+  ScoreVisitor visitor{local_nodes_.data(), counts->data(), &prefix_scratch_};
+  Visit(q, visitor);
+  return visitor.total;
+}
+
+bool NeighborhoodKernel::FindMinScoreClique(int q,
+                                            std::span<const Count> scores,
+                                            Count base_score, bool prune,
+                                            std::vector<NodeId>* clique,
+                                            Count* clique_score) {
+  if (q <= 0 || s_ < static_cast<NodeId>(q)) return false;
+  local_scores_.resize(s_);
+  for (NodeId i = 0; i < s_; ++i) {
+    local_scores_[i] = scores[local_nodes_[i]];
+  }
+  prefix_scratch_.clear();
+  best_scratch_.clear();
+  MinScoreVisitor visitor{local_scores_.data(), prune, base_score,
+                          &prefix_scratch_, &best_scratch_};
+  Visit(q, visitor);
+  if (!visitor.have_best) return false;
+  clique->clear();
+  for (NodeId i : best_scratch_) clique->push_back(local_nodes_[i]);
+  *clique_score = visitor.best_score;
+  return true;
+}
+
+}  // namespace dkc

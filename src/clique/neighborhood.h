@@ -1,0 +1,326 @@
+// The shared neighborhood kernel behind every k-clique DFS in the library.
+//
+// Design note — local remap + bitmap adjacency
+// --------------------------------------------
+// Every solver in this library walks the same search tree: pick a root u of
+// an oriented graph, then find (k-1)-cliques inside N+(u) by repeatedly
+// intersecting candidate sets with out-neighborhoods (kClist [13]). The
+// naive form pays a sorted-set merge per branch. This kernel instead
+// materializes the *induced* neighborhood once per root:
+//
+//   1. the universe (N+(u), optionally validity-filtered, or an arbitrary
+//      sorted node subset) is remapped to dense local ids 0..s-1, assigned
+//      in ascending global-id order;
+//   2. the adjacency induced on the universe is packed into a bit matrix —
+//      row i is a bitset of the local ids adjacent to i (and oriented below
+//      i in subset mode), ceil(s/64) words wide;
+//   3. every deeper intersection becomes a word-wise AND + popcount, and
+//      candidate sets are single bitmap rows on a per-depth stack.
+//
+// Because local ids are ascending in global id and set bits are visited
+// LSB-first, the DFS visits branches in exactly the order the historical
+// sorted-merge recursions did, so counting, scoring, min-clique search and
+// enumeration all produce bit-identical results — including "first found
+// in DFS order" tie-breaks — just faster.
+//
+// Fallback to sorted-merge: the bit matrix costs s*ceil(s/64) words to
+// clear and build. DAG out-degrees are degeneracy-bounded, so per-root
+// universes are small and dense enough that the matrix always wins; but an
+// arbitrary subset (BuildFromSubset) can be huge and sparse. When a row
+// would span more than kMaxRowWords machine words (s > kMaxBitmapNodes),
+// the kernel keeps the induced adjacency as sorted local-id lists and runs
+// the classical merge recursion instead — same visit order, same results.
+//
+// Visitors: the private Visit/BitRec/MergeRec templates drive a visitor
+// with Enter/Exit (branch hooks, Enter may prune), LeafCount (candidate
+// count at the last level) and LeafId (per-candidate completion) hooks.
+// CountCliques / ScoreCliques / FindMinScoreClique / ForEachClique are the
+// four public instantiations; KCliqueEnumerator, FindMin in the lightweight
+// solver, HG's FindOne and ForEachKCliqueInSubset are all thin adapters.
+
+#ifndef DKC_CLIQUE_NEIGHBORHOOD_H_
+#define DKC_CLIQUE_NEIGHBORHOOD_H_
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "graph/dag.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace dkc {
+
+/// out = a ∩ b for sorted unique spans. `out` is overwritten. Switches to a
+/// galloping (exponential-probe) scan when the inputs differ in size by
+/// kGallopSkew or more; a plain two-pointer merge otherwise.
+void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
+                     std::vector<NodeId>* out);
+
+/// Size ratio at which IntersectSorted switches from merging to galloping.
+inline constexpr size_t kGallopSkew = 32;
+
+/// Reusable induced-neighborhood clique kernel. Not thread-safe; create one
+/// per thread and rebuild per root — scratch memory is recycled across
+/// builds, so the per-root cost is proportional to the neighborhood, not
+/// the graph.
+class NeighborhoodKernel {
+ public:
+  /// Widest bit-matrix row, in 64-bit words; universes larger than
+  /// kMaxBitmapNodes use the sorted-merge fallback (see design note).
+  static constexpr NodeId kMaxRowWords = 64;
+  static constexpr NodeId kMaxBitmapNodes = kMaxRowWords * 64;
+
+  NeighborhoodKernel() = default;
+
+  /// Universe = out-neighbors of `root` in `dag` (those with non-zero
+  /// `valid`, when given). Local id i maps to dag.OutNeighbors(root)[i] in
+  /// ascending node-id order. Returns the universe size s.
+  NodeId BuildFromRoot(const Dag& dag, NodeId root,
+                       const uint8_t* valid = nullptr);
+
+  /// Universe = `subset` (sorted, unique) of the *current* state of `g`,
+  /// oriented by position: row j holds adjacent positions i < j, so each
+  /// clique is visited exactly once with its highest position as the
+  /// branch head. Returns s = subset.size().
+  NodeId BuildFromSubset(const DynamicGraph& g,
+                         std::span<const NodeId> subset);
+
+  NodeId size() const { return s_; }
+  bool has_root() const { return has_root_; }
+  bool uses_bitmap() const { return use_bitmap_; }
+  NodeId ToGlobal(NodeId local) const { return local_nodes_[local]; }
+
+  /// Number of q-cliques in the local universe (q = k-1 in root mode: the
+  /// root completes each to a k-clique).
+  Count CountCliques(int q);
+
+  /// Per-node clique-participation scores: for every q-clique found, bump
+  /// `(*counts)[global id]` of each member. Returns the number of
+  /// q-cliques; in root mode the caller credits the root with that total.
+  Count ScoreCliques(int q, std::vector<Count>* counts);
+
+  /// Minimum-score q-clique: minimizes base_score + sum of member scores
+  /// (scores indexed by global id), ties resolved first-found-in-DFS-order.
+  /// With `prune`, branches whose running sum already exceeds the best are
+  /// cut (never changes the result; scores are non-negative). On success
+  /// fills `clique` with the member *global* ids in DFS order (root NOT
+  /// included) and `clique_score` with the full sum.
+  bool FindMinScoreClique(int q, std::span<const Count> scores,
+                          Count base_score, bool prune,
+                          std::vector<NodeId>* clique, Count* clique_score);
+
+  /// Invoke `cb(nodes)` once per q-clique, where `nodes` spans global ids:
+  /// the root first (root mode only), then the members in DFS order. `cb`
+  /// returns false to stop; ForEachClique then returns false.
+  template <typename F>
+  bool ForEachClique(int q, F&& cb) {
+    emit_.clear();
+    if (has_root_) emit_.push_back(root_);
+    EmitVisitor<std::remove_reference_t<F>> visitor{&emit_,
+                                                    local_nodes_.data(), &cb};
+    return Visit(q, visitor);
+  }
+
+ private:
+  static constexpr NodeId kNoLocal = kInvalidNode;
+
+  template <typename F>
+  struct EmitVisitor {
+    static constexpr bool kLeafIterates = true;
+    std::vector<NodeId>* emit;
+    const NodeId* local_nodes;
+    F* callback;
+    bool Enter(NodeId i) {
+      emit->push_back(local_nodes[i]);
+      return true;
+    }
+    void Exit(NodeId) { emit->pop_back(); }
+    bool LeafCount(Count) { return true; }
+    bool LeafId(NodeId i) {
+      emit->push_back(local_nodes[i]);
+      const bool keep_going = (*callback)(std::span<const NodeId>(*emit));
+      emit->pop_back();
+      return keep_going;
+    }
+  };
+
+  void PrepareMap(NodeId num_nodes);
+
+  /// Runs the visitor over every q-clique of the universe. Returns false
+  /// iff a leaf hook aborted the traversal.
+  template <typename V>
+  bool Visit(int q, V& visitor) {
+    if (q <= 0 || s_ < static_cast<NodeId>(q)) return true;
+    if (use_bitmap_) {
+      cand_stack_.resize(static_cast<size_t>(q) * words_);
+      uint64_t* full = cand_stack_.data();
+      for (NodeId w = 0; w < words_; ++w) full[w] = ~uint64_t{0};
+      if ((s_ & 63) != 0) full[words_ - 1] = (uint64_t{1} << (s_ & 63)) - 1;
+      return BitRec(q, full, 0, visitor);
+    }
+    merge_stack_.resize(static_cast<size_t>(q));
+    merge_full_.resize(s_);
+    for (NodeId i = 0; i < s_; ++i) merge_full_[i] = i;
+    return MergeRec(q, merge_full_, 0, visitor);
+  }
+
+  template <typename V>
+  bool BitRec(int remaining, const uint64_t* cand, int depth, V& visitor) {
+    if (remaining == 1) {
+      Count n = 0;
+      for (NodeId w = 0; w < words_; ++w) n += std::popcount(cand[w]);
+      if (!visitor.LeafCount(n)) return false;
+      if constexpr (V::kLeafIterates) {
+        for (NodeId w = 0; w < words_; ++w) {
+          uint64_t bits = cand[w];
+          while (bits != 0) {
+            const NodeId i =
+                w * 64 + static_cast<NodeId>(std::countr_zero(bits));
+            bits &= bits - 1;
+            if (!visitor.LeafId(i)) return false;
+          }
+        }
+      }
+      return true;
+    }
+    uint64_t* next =
+        cand_stack_.data() + static_cast<size_t>(depth + 1) * words_;
+    for (NodeId w = 0; w < words_; ++w) {
+      uint64_t bits = cand[w];
+      while (bits != 0) {
+        const NodeId i = w * 64 + static_cast<NodeId>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (local_deg_[i] + 1 < static_cast<Count>(remaining)) continue;
+        if (!visitor.Enter(i)) continue;
+        const uint64_t* row = rows_.data() + static_cast<size_t>(i) * words_;
+        Count n = 0;
+        for (NodeId x = 0; x < words_; ++x) {
+          next[x] = cand[x] & row[x];
+          n += std::popcount(next[x]);
+        }
+        bool keep_going = true;
+        if (n + 1 >= static_cast<Count>(remaining)) {
+          keep_going = BitRec(remaining - 1, next, depth + 1, visitor);
+        }
+        visitor.Exit(i);
+        if (!keep_going) return false;
+      }
+    }
+    return true;
+  }
+
+  template <typename V>
+  bool MergeRec(int remaining, std::span<const NodeId> cand, int depth,
+                V& visitor) {
+    if (remaining == 1) {
+      if (!visitor.LeafCount(cand.size())) return false;
+      if constexpr (V::kLeafIterates) {
+        for (NodeId i : cand) {
+          if (!visitor.LeafId(i)) return false;
+        }
+      }
+      return true;
+    }
+    for (NodeId i : cand) {
+      if (local_deg_[i] + 1 < static_cast<Count>(remaining)) continue;
+      if (!visitor.Enter(i)) continue;
+      auto& next = merge_stack_[depth];
+      IntersectSorted(cand, LocalNeighbors(i), &next);
+      bool keep_going = true;
+      if (next.size() + 1 >= static_cast<size_t>(remaining)) {
+        keep_going = MergeRec(remaining - 1, next, depth + 1, visitor);
+      }
+      visitor.Exit(i);
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  std::span<const NodeId> LocalNeighbors(NodeId i) const {
+    return {adj_list_.data() + adj_offsets_[i],
+            adj_list_.data() + adj_offsets_[i + 1]};
+  }
+
+  // Universe.
+  NodeId s_ = 0;
+  NodeId root_ = 0;
+  bool has_root_ = false;
+  bool use_bitmap_ = true;
+  std::vector<NodeId> local_nodes_;  // local id -> global id, ascending
+  std::vector<NodeId> local_of_;     // global id -> local id (root mode)
+  std::vector<NodeId> map_entries_;  // global ids currently set in local_of_
+  std::vector<Count> local_deg_;     // induced out-degree per local id
+
+  // Bitmap representation.
+  NodeId words_ = 0;
+  std::vector<uint64_t> rows_;        // s_ rows of words_ words
+  std::vector<uint64_t> cand_stack_;  // one candidate bitmap per depth
+
+  // Sorted-merge fallback representation.
+  std::vector<Count> adj_offsets_;
+  std::vector<NodeId> adj_list_;
+  std::vector<NodeId> merge_full_;
+  std::vector<std::vector<NodeId>> merge_stack_;
+
+  // Visitor scratch.
+  std::vector<NodeId> emit_;        // global ids, root-prefixed in root mode
+  std::vector<NodeId> prefix_scratch_;  // local ids (FindMinScoreClique)
+  std::vector<NodeId> best_scratch_;
+  std::vector<Count> local_scores_;
+};
+
+/// Shared parallel driver for per-root passes: iterate roots 0..n-1,
+/// optionally chunked across a pool, with uniform deadline checks.
+/// `make_state` builds one worker-private state (e.g. a kernel plus local
+/// accumulators), `per_root(u, &state)` must be callable concurrently on
+/// distinct states, and `merge(&state)` runs under a lock (or inline when
+/// serial). Returns false iff the deadline expired before completion.
+template <typename MakeState, typename PerRoot, typename Merge>
+bool DriveRoots(NodeId n, ThreadPool* pool, const Deadline& deadline,
+                MakeState make_state, PerRoot per_root, Merge merge) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 1024) {
+    auto state = make_state();
+    for (NodeId u = 0; u < n; ++u) {
+      if ((u & 0xFF) == 0 && deadline.Expired()) return false;
+      per_root(u, &state);
+    }
+    merge(&state);
+    return true;
+  }
+  std::atomic<NodeId> cursor{0};
+  std::atomic<bool> expired{false};
+  std::mutex merge_mu;
+  const size_t workers = pool->num_threads();
+  for (size_t w = 0; w < workers; ++w) {
+    pool->Submit([&] {
+      auto state = make_state();
+      constexpr NodeId kChunk = 256;
+      for (;;) {
+        const NodeId begin = cursor.fetch_add(kChunk);
+        if (begin >= n || expired.load(std::memory_order_relaxed)) break;
+        if (deadline.Expired()) {
+          expired.store(true, std::memory_order_relaxed);
+          break;
+        }
+        const NodeId end = std::min<NodeId>(n, begin + kChunk);
+        for (NodeId u = begin; u < end; ++u) per_root(u, &state);
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      merge(&state);
+    });
+  }
+  pool->Wait();
+  return !expired.load();
+}
+
+}  // namespace dkc
+
+#endif  // DKC_CLIQUE_NEIGHBORHOOD_H_

@@ -3,72 +3,40 @@
 #include <algorithm>
 #include <vector>
 
-#include "clique/kclique.h"
+#include "clique/neighborhood.h"
 #include "graph/ordering.h"
 
 namespace dkc {
 namespace {
 
 // FindOne (Algorithm 1, lines 14-24): depth-first search for the first
-// l-clique inside the valid part of the candidate set, using DAG
-// out-adjacency so no clique is visited twice across roots.
+// k-clique rooted at u inside the valid part of N+(u), adapted onto the
+// shared neighborhood kernel's early-stopping enumeration (paper line 16:
+// "find an edge ... and form a k-clique" — first hit wins).
 class FirstCliqueFinder {
  public:
   FirstCliqueFinder(const Dag& dag, const std::vector<uint8_t>& valid, int k)
-      : dag_(dag), valid_(valid), k_(k) {
-    scratch_.resize(k >= 3 ? k - 2 : 0);
-    for (auto& buf : scratch_) buf.reserve(dag.MaxOutDegree());
-    seed_.reserve(dag.MaxOutDegree());
-    found_.reserve(static_cast<size_t>(k));
-  }
+      : dag_(dag), valid_(valid), k_(k) {}
 
   /// On success fills `clique` with u plus a (k-1)-clique from valid N+(u).
   bool FindRooted(NodeId u, std::vector<NodeId>* clique) {
-    seed_.clear();
-    for (NodeId v : dag_.OutNeighbors(u)) {
-      if (valid_[v]) seed_.push_back(v);
-    }
-    if (seed_.size() + 1 < static_cast<size_t>(k_)) return false;
-    found_.assign(1, u);
-    if (!Recurse(k_ - 1, seed_, 0)) return false;
-    *clique = found_;
-    return true;
+    if (dag_.OutDegree(u) + 1 < static_cast<Count>(k_)) return false;
+    kernel_.BuildFromRoot(dag_, u, valid_.data());
+    if (kernel_.size() + 1 < static_cast<NodeId>(k_)) return false;
+    bool found = false;
+    kernel_.ForEachClique(k_ - 1, [&](std::span<const NodeId> nodes) {
+      clique->assign(nodes.begin(), nodes.end());
+      found = true;
+      return false;  // stop at the first clique
+    });
+    return found;
   }
 
  private:
-  // Returns true once a clique is completed; `found_` then holds it.
-  bool Recurse(int remaining, std::span<const NodeId> cand, int depth) {
-    if (remaining == 1) {
-      // Any candidate closes the clique; take the first (paper line 16:
-      // "find an edge ... and form a k-clique" — first hit wins).
-      found_.push_back(cand.front());
-      return true;
-    }
-    for (NodeId v : cand) {
-      if (dag_.OutDegree(v) + 1 < static_cast<Count>(remaining)) continue;
-      auto& next = scratch_[depth];
-      next.clear();
-      for (NodeId w : dag_.OutNeighbors(v)) {
-        if (!valid_[w]) continue;
-        // `cand` is sorted and valid-filtered; intersect on the fly.
-        if (std::binary_search(cand.begin(), cand.end(), w)) {
-          next.push_back(w);
-        }
-      }
-      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
-      found_.push_back(v);
-      if (Recurse(remaining - 1, next, depth + 1)) return true;
-      found_.pop_back();
-    }
-    return false;
-  }
-
   const Dag& dag_;
   const std::vector<uint8_t>& valid_;
   int k_;
-  std::vector<std::vector<NodeId>> scratch_;
-  std::vector<NodeId> seed_;
-  std::vector<NodeId> found_;
+  NeighborhoodKernel kernel_;
 };
 
 Ordering MakeOrdering(const Graph& g, NodeOrderKind kind) {

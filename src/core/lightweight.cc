@@ -1,12 +1,11 @@
 #include "core/lightweight.h"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <queue>
 #include <vector>
 
 #include "clique/kclique.h"
+#include "clique/neighborhood.h"
 #include "core/clique_score.h"
 #include "graph/dag.h"
 #include "graph/ordering.h"
@@ -16,95 +15,44 @@ namespace dkc {
 namespace {
 
 // FindMin (Algorithm 3, lines 16-29): locally minimum clique-score k-clique
-// rooted at u, searched inside the valid part of N+(u). The score-driven
-// pruning cuts a branch as soon as the running sum plus the next node's
-// score exceeds the best complete clique found (scores are positive, so the
-// running sum lower-bounds every completion of the branch). Pruning never
-// changes the result: only strictly-worse completions are skipped, and ties
-// are resolved "first found in DFS order" both with and without it.
+// rooted at u, searched inside the valid part of N+(u). A thin adapter over
+// NeighborhoodKernel::FindMinScoreClique, which carries the score-driven
+// pruning (lines 19-20 / 27-28): a branch is cut as soon as the running sum
+// plus the next node's score exceeds the best complete clique found.
+// Pruning never changes the result: only strictly-worse completions are
+// skipped, and ties are resolved "first found in DFS order" both ways.
 class MinCliqueFinder {
  public:
   MinCliqueFinder(const Dag& dag, const std::vector<uint8_t>& valid,
                   const std::vector<Count>& node_scores, int k, bool prune)
-      : dag_(dag),
-        valid_(valid),
-        scores_(node_scores),
-        k_(k),
-        prune_(prune) {
-    scratch_.resize(k >= 3 ? k - 2 : 0);
-    for (auto& buf : scratch_) buf.reserve(dag.MaxOutDegree());
-    seed_.reserve(dag.MaxOutDegree());
-    prefix_.reserve(static_cast<size_t>(k));
-    best_nodes_.reserve(static_cast<size_t>(k));
+      : dag_(dag), valid_(valid), scores_(node_scores), k_(k), prune_(prune) {
+    rest_.reserve(static_cast<size_t>(k));
   }
-
-  uint64_t branches_visited() const { return branches_visited_; }
 
   /// Returns true iff some k-clique rooted at `u` exists among valid nodes;
   /// fills the minimum-score one (root first) and its clique score.
   bool FindRooted(NodeId u, std::vector<NodeId>* clique, Count* clique_score) {
-    seed_.clear();
-    for (NodeId v : dag_.OutNeighbors(u)) {
-      if (valid_[v]) seed_.push_back(v);
+    if (dag_.OutDegree(u) + 1 < static_cast<Count>(k_)) return false;
+    kernel_.BuildFromRoot(dag_, u, valid_.data());
+    if (kernel_.size() + 1 < static_cast<NodeId>(k_)) return false;
+    if (!kernel_.FindMinScoreClique(k_ - 1, scores_, scores_[u], prune_,
+                                    &rest_, clique_score)) {
+      return false;
     }
-    if (seed_.size() + 1 < static_cast<size_t>(k_)) return false;
-    prefix_.assign(1, u);
-    have_best_ = false;
-    best_score_ = 0;
-    Recurse(k_ - 1, seed_, 0, scores_[u]);
-    if (!have_best_) return false;
-    *clique = best_nodes_;
-    *clique_score = best_score_;
+    clique->clear();
+    clique->push_back(u);
+    clique->insert(clique->end(), rest_.begin(), rest_.end());
     return true;
   }
 
  private:
-  void Recurse(int remaining, std::span<const NodeId> cand, int depth,
-               Count score_so_far) {
-    ++branches_visited_;
-    if (remaining == 1) {
-      for (NodeId v : cand) {
-        const Count total = score_so_far + scores_[v];
-        if (!have_best_ || total < best_score_) {
-          best_score_ = total;
-          best_nodes_ = prefix_;
-          best_nodes_.push_back(v);
-          have_best_ = true;
-        }
-      }
-      return;
-    }
-    for (NodeId v : cand) {
-      if (dag_.OutDegree(v) + 1 < static_cast<Count>(remaining)) continue;
-      if (prune_ && have_best_ && score_so_far + scores_[v] > best_score_) {
-        continue;  // lines 19-20 / 27-28
-      }
-      auto& next = scratch_[depth];
-      next.clear();
-      for (NodeId w : dag_.OutNeighbors(v)) {
-        if (valid_[w] && std::binary_search(cand.begin(), cand.end(), w)) {
-          next.push_back(w);
-        }
-      }
-      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
-      prefix_.push_back(v);
-      Recurse(remaining - 1, next, depth + 1, score_so_far + scores_[v]);
-      prefix_.pop_back();
-    }
-  }
-
   const Dag& dag_;
   const std::vector<uint8_t>& valid_;
   const std::vector<Count>& scores_;
   int k_;
   bool prune_;
-  std::vector<std::vector<NodeId>> scratch_;
-  std::vector<NodeId> seed_;
-  std::vector<NodeId> prefix_;
-  std::vector<NodeId> best_nodes_;
-  Count best_score_ = 0;
-  bool have_best_ = false;
-  uint64_t branches_visited_ = 0;
+  NeighborhoodKernel kernel_;
+  std::vector<NodeId> rest_;
 };
 
 struct HeapEntry {
@@ -150,47 +98,37 @@ StatusOr<SolveResult> SolveLightweight(const Graph& g,
   Dag dag(g, OrderByKeyAscending(scores.per_node));
   std::vector<uint8_t> valid(g.num_nodes(), 1);
 
-  // Lines 5-6, HeapInit: one local-minimum clique per root, in parallel.
+  // Lines 5-6, HeapInit: one local-minimum clique per root, in parallel via
+  // the shared root driver (uniform pool scheduling + deadline checks).
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap;
   {
     std::vector<HeapEntry> initial;
-    std::mutex merge_mu;
-    const NodeId n = g.num_nodes();
-    auto scan_range = [&](NodeId begin, NodeId end,
-                          std::vector<HeapEntry>* out) {
-      MinCliqueFinder finder(dag, valid, scores.per_node, options.k,
-                             options.enable_score_pruning);
+    struct State {
+      MinCliqueFinder finder;
       std::vector<NodeId> clique;
       Count clique_score = 0;
-      for (NodeId u = begin; u < end; ++u) {
-        if (dag.OutDegree(u) + 1 < static_cast<Count>(options.k)) continue;
-        if (finder.FindRooted(u, &clique, &clique_score)) {
-          out->push_back(HeapEntry{clique_score, dag.ordering().rank[u],
-                                   clique});
-        }
-      }
+      std::vector<HeapEntry> found;
     };
-    if (options.pool != nullptr && options.pool->num_threads() > 1 &&
-        n >= 1024) {
-      std::atomic<NodeId> cursor{0};
-      const size_t workers = options.pool->num_threads();
-      for (size_t w = 0; w < workers; ++w) {
-        options.pool->Submit([&] {
-          std::vector<HeapEntry> local;
-          constexpr NodeId kChunk = 512;
-          for (;;) {
-            const NodeId begin = cursor.fetch_add(kChunk);
-            if (begin >= n) break;
-            scan_range(begin, std::min<NodeId>(n, begin + kChunk), &local);
+    const bool completed = DriveRoots(
+        g.num_nodes(), options.pool, deadline,
+        [&] {
+          return State{MinCliqueFinder(dag, valid, scores.per_node, options.k,
+                                       options.enable_score_pruning),
+                       {},
+                       0,
+                       {}};
+        },
+        [&](NodeId u, State* s) {
+          if (dag.OutDegree(u) + 1 < static_cast<Count>(options.k)) return;
+          if (s->finder.FindRooted(u, &s->clique, &s->clique_score)) {
+            s->found.push_back(HeapEntry{s->clique_score,
+                                         dag.ordering().rank[u], s->clique});
           }
-          std::lock_guard<std::mutex> lock(merge_mu);
-          for (auto& e : local) initial.push_back(std::move(e));
+        },
+        [&](State* s) {
+          for (auto& e : s->found) initial.push_back(std::move(e));
         });
-      }
-      options.pool->Wait();
-    } else {
-      scan_range(0, n, &initial);
-    }
+    if (!completed) return Status::TimeBudgetExceeded("lightweight heap init");
     for (auto& e : initial) heap.push(std::move(e));
   }
   result.stats.init_ms = timer.ElapsedMillis();

@@ -28,4 +28,11 @@ Dag::Dag(const Graph& g, Ordering ordering) : ordering_(std::move(ordering)) {
   }
 }
 
+void Dag::InducedOutNeighborhood(NodeId u, const uint8_t* valid,
+                                 std::vector<NodeId>* out) const {
+  for (NodeId v : OutNeighbors(u)) {
+    if (valid == nullptr || valid[v] != 0) out->push_back(v);
+  }
+}
+
 }  // namespace dkc

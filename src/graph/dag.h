@@ -48,6 +48,12 @@ class Dag {
     return ordering_.rank[v] < ordering_.rank[u];
   }
 
+  /// Appends to `out` the out-neighbors of `u` with non-zero `valid` (all
+  /// of them when `valid` is null), in ascending node-id order: the
+  /// universe a per-root NeighborhoodKernel is built over.
+  void InducedOutNeighborhood(NodeId u, const uint8_t* valid,
+                              std::vector<NodeId>* out) const;
+
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(offsets_.capacity() * sizeof(Count) +
                                 out_.capacity() * sizeof(NodeId) +

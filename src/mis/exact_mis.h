@@ -8,6 +8,9 @@
 // OPT on anything but tiny graphs.
 //
 // Techniques:
+//   * connected-component decomposition before branching: each component is
+//     solved independently and the sizes summed, with the caller's upper
+//     bound tightened by the components already solved;
 //   * reductions: isolated vertices (take), degree-1 pendants (take),
 //     dominance (exclude u when an adjacent v has N[v] ⊆ N[u]),
 //     applied exhaustively at every branch node;

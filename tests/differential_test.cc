@@ -126,7 +126,9 @@ TEST(DifferentialTest, DynamicSolverSurvivesRandomUpdateStreams) {
   for (int stream = 0; stream < kStreams; ++stream) {
     SCOPED_TRACE("stream=" + std::to_string(stream));
     Rng rng(7300 + static_cast<uint64_t>(stream) * 97);
-    const NodeId n = 40 + static_cast<NodeId>(stream % 3) * 5;
+    // Doubled from n in [40, 50] once the kernel refactor paid for it; the
+    // stream fuzz is the safety net every perf PR leans on.
+    const NodeId n = 80 + static_cast<NodeId>(stream % 3) * 10;
     const double p = 0.10 + 0.02 * static_cast<double>(stream % 4);
     const Graph initial = ErdosRenyi(n, p, rng).value();
     const int k = 3 + stream % 2;

@@ -247,6 +247,64 @@ TEST(ExactMisTest, TightUpperBoundPrunesProvingWork) {
   EXPECT_LE(bounded->branch_nodes, unbounded->branch_nodes);
 }
 
+TEST(ExactMisTest, DisconnectedComponentsSumExactly) {
+  // Two C5s plus three isolated vertices: MIS = 2 + 2 + 3. The components
+  // are solved independently and summed.
+  Adj adj(13);
+  auto add = [&adj](uint32_t u, uint32_t v) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+  for (uint32_t i = 0; i < 5; ++i) {
+    add(i, (i + 1) % 5);
+    add(5 + i, 5 + (i + 1) % 5);
+  }
+  for (auto& l : adj) std::sort(l.begin(), l.end());
+  auto result = ExactMis(adj);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vertices.size(), 7u);
+  EXPECT_TRUE(IsIndependentSet(adj, result->vertices));
+  EXPECT_EQ(result->vertices.size(), BruteForceMisSize(adj));
+}
+
+TEST(ExactMisTest, DecompositionShrinksTheSearchTree) {
+  // Four disjoint copies of a 12-vertex random graph. Decomposed, the
+  // search tree is at most the sum of the per-copy trees — far below one
+  // coupled search, and in particular no more than 4x a single copy's.
+  const Adj one = RandomAdjacency(12, 0.3, 77);
+  Adj four(48);
+  for (uint32_t copy = 0; copy < 4; ++copy) {
+    for (uint32_t u = 0; u < 12; ++u) {
+      for (uint32_t v : one[u]) four[copy * 12 + u].push_back(copy * 12 + v);
+    }
+  }
+  auto single = ExactMis(one);
+  auto whole = ExactMis(four);
+  ASSERT_TRUE(single.ok() && whole.ok());
+  EXPECT_EQ(whole->vertices.size(), 4 * single->vertices.size());
+  EXPECT_TRUE(IsIndependentSet(four, whole->vertices));
+  EXPECT_LE(whole->branch_nodes, 4 * single->branch_nodes);
+}
+
+TEST(ExactMisTest, ComponentBoundTightensAsComponentsResolve) {
+  // A true global upper bound still early-stops per component: two C5s
+  // with bound 4 (the exact total) must come back optimal.
+  Adj adj(10);
+  auto add = [&adj](uint32_t u, uint32_t v) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+  for (uint32_t i = 0; i < 5; ++i) {
+    add(i, (i + 1) % 5);
+    add(5 + i, 5 + (i + 1) % 5);
+  }
+  for (auto& l : adj) std::sort(l.begin(), l.end());
+  auto result = ExactMis(adj, Deadline::Unlimited(), /*upper_bound=*/4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->vertices.size(), 4u);
+  EXPECT_TRUE(IsIndependentSet(adj, result->vertices));
+}
+
 TEST(ExactMisTest, AtLeastAsGoodAsGreedy) {
   for (uint64_t seed = 0; seed < 5; ++seed) {
     Adj adj = RandomAdjacency(40, 0.2, seed);

@@ -1,0 +1,370 @@
+// NeighborhoodKernel cross-checks against the pre-refactor naive
+// recursions: the sorted-merge DFS that CountRec/ScoreRec, FindMin and the
+// subset lambda used before they became kernel adapters is reimplemented
+// here (deliberately share-nothing) and every kernel visitor must match it
+// exactly — counts, scores, the min-clique *identity* (DFS-order
+// tie-breaks), and enumeration order.
+
+#include "clique/neighborhood.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/dag.h"
+#include "graph/dynamic_graph.h"
+#include "graph/ordering.h"
+#include "test_util.h"
+
+namespace dkc {
+namespace {
+
+std::vector<NodeId> Intersect(std::span<const NodeId> a,
+                              std::span<const NodeId> b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Pre-refactor CountRec: plain sorted-merge recursion over N+(u).
+Count NaiveCountRooted(const Dag& dag, NodeId u, int k) {
+  if (k == 1) return 1;
+  auto out = dag.OutNeighbors(u);
+  if (out.size() + 1 < static_cast<size_t>(k)) return 0;
+  auto rec = [&](auto&& self, int remaining,
+                 std::span<const NodeId> cand) -> Count {
+    if (remaining == 1) return cand.size();
+    Count total = 0;
+    for (NodeId v : cand) {
+      auto next = Intersect(cand, dag.OutNeighbors(v));
+      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
+      total += self(self, remaining - 1, next);
+    }
+    return total;
+  };
+  return rec(rec, k - 1, out);
+}
+
+// Pre-refactor ScoreRec: per-node participation counts for cliques rooted
+// at u (prefix includes the root).
+Count NaiveScoreRooted(const Dag& dag, NodeId u, int k,
+                       std::vector<Count>* counts) {
+  if (k == 1) {
+    ++(*counts)[u];
+    return 1;
+  }
+  auto out = dag.OutNeighbors(u);
+  if (out.size() + 1 < static_cast<size_t>(k)) return 0;
+  std::vector<NodeId> prefix = {u};
+  auto rec = [&](auto&& self, int remaining,
+                 std::span<const NodeId> cand) -> Count {
+    if (remaining == 1) {
+      for (NodeId v : cand) ++(*counts)[v];
+      for (NodeId p : prefix) (*counts)[p] += cand.size();
+      return cand.size();
+    }
+    Count total = 0;
+    for (NodeId v : cand) {
+      auto next = Intersect(cand, dag.OutNeighbors(v));
+      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
+      prefix.push_back(v);
+      total += self(self, remaining - 1, next);
+      prefix.pop_back();
+    }
+    return total;
+  };
+  return rec(rec, k - 1, out);
+}
+
+// Pre-refactor FindMin without pruning: first-found-in-DFS-order minimum
+// clique-score k-clique among valid nodes rooted at u.
+bool NaiveFindMinRooted(const Dag& dag, NodeId u, int k,
+                        const std::vector<uint8_t>& valid,
+                        const std::vector<Count>& scores,
+                        std::vector<NodeId>* best_clique, Count* best_score) {
+  std::vector<NodeId> seed;
+  for (NodeId v : dag.OutNeighbors(u)) {
+    if (valid[v]) seed.push_back(v);
+  }
+  if (seed.size() + 1 < static_cast<size_t>(k)) return false;
+  std::vector<NodeId> prefix = {u};
+  bool have = false;
+  auto rec = [&](auto&& self, int remaining, std::span<const NodeId> cand,
+                 Count sum) -> void {
+    if (remaining == 1) {
+      for (NodeId v : cand) {
+        const Count total = sum + scores[v];
+        if (!have || total < *best_score) {
+          have = true;
+          *best_score = total;
+          *best_clique = prefix;
+          best_clique->push_back(v);
+        }
+      }
+      return;
+    }
+    for (NodeId v : cand) {
+      std::vector<NodeId> next;
+      for (NodeId w : dag.OutNeighbors(v)) {
+        if (valid[w] && std::binary_search(cand.begin(), cand.end(), w)) {
+          next.push_back(w);
+        }
+      }
+      if (next.size() + 1 < static_cast<size_t>(remaining)) continue;
+      prefix.push_back(v);
+      self(self, remaining - 1, next, sum + scores[v]);
+      prefix.pop_back();
+    }
+  };
+  rec(rec, k - 1, seed, scores[u]);
+  return have;
+}
+
+TEST(NeighborhoodKernelTest, CountMatchesNaivePerRoot) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = testing::RandomGraph(32, 0.3 + 0.1 * (seed % 3), 400 + seed);
+    Dag dag(g, DegeneracyOrdering(g));
+    for (int k = 3; k <= 6; ++k) {
+      NeighborhoodKernel kernel;
+      Count total = 0;
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        kernel.BuildFromRoot(dag, u);
+        EXPECT_TRUE(kernel.uses_bitmap());
+        const Count got = kernel.CountCliques(k - 1);
+        EXPECT_EQ(got, NaiveCountRooted(dag, u, k)) << "u=" << u << " k=" << k;
+        total += got;
+      }
+      EXPECT_EQ(total, testing::BruteForceKCliques(g, k).size());
+    }
+  }
+}
+
+TEST(NeighborhoodKernelTest, ScoresMatchNaivePerRoot) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = testing::RandomGraph(28, 0.35, 500 + seed);
+    Dag dag(g, DegeneracyOrdering(g));
+    const int k = 3 + static_cast<int>(seed % 3);
+    std::vector<Count> naive(g.num_nodes(), 0);
+    std::vector<Count> kernel_counts(g.num_nodes(), 0);
+    NeighborhoodKernel kernel;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const Count naive_total = NaiveScoreRooted(dag, u, k, &naive);
+      Count kernel_total = 0;
+      if (dag.OutDegree(u) + 1 >= static_cast<Count>(k)) {
+        kernel.BuildFromRoot(dag, u);
+        kernel_total = kernel.ScoreCliques(k - 1, &kernel_counts);
+        kernel_counts[u] += kernel_total;  // the adapter's root credit
+      }
+      EXPECT_EQ(kernel_total, naive_total) << "u=" << u;
+    }
+    EXPECT_EQ(kernel_counts, naive);
+    EXPECT_EQ(naive, testing::BruteForceNodeScores(g, k));
+  }
+}
+
+TEST(NeighborhoodKernelTest, MinCliqueMatchesNaiveIncludingTieBreaks) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = testing::RandomGraph(26, 0.4, 600 + seed);
+    Dag dag(g, DegeneracyOrdering(g));
+    const int k = 3 + static_cast<int>(seed % 2);
+    Rng rng(800 + seed);
+    // Random validity mask and deliberately collision-heavy scores so ties
+    // are common: only DFS-first tie-breaking reproduces the naive pick.
+    std::vector<uint8_t> valid(g.num_nodes(), 1);
+    std::vector<Count> scores(g.num_nodes(), 0);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      valid[u] = rng.NextBool(0.8) ? 1 : 0;
+      scores[u] = rng.NextBounded(3);
+    }
+    NeighborhoodKernel kernel;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      std::vector<NodeId> naive_clique;
+      Count naive_score = 0;
+      const bool naive_found = NaiveFindMinRooted(dag, u, k, valid, scores,
+                                                  &naive_clique, &naive_score);
+      for (bool prune : {false, true}) {
+        kernel.BuildFromRoot(dag, u, valid.data());
+        std::vector<NodeId> rest;
+        Count got_score = 0;
+        const bool found = kernel.FindMinScoreClique(
+            k - 1, scores, scores[u], prune, &rest, &got_score);
+        ASSERT_EQ(found, naive_found) << "u=" << u << " prune=" << prune;
+        if (!found) continue;
+        std::vector<NodeId> got = {u};
+        got.insert(got.end(), rest.begin(), rest.end());
+        EXPECT_EQ(got, naive_clique) << "u=" << u << " prune=" << prune;
+        EXPECT_EQ(got_score, naive_score);
+      }
+    }
+  }
+}
+
+TEST(NeighborhoodKernelTest, SubsetEnumerationMatchesBruteForce) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph base = testing::RandomGraph(24, 0.4, 700 + seed);
+    DynamicGraph g(base);
+    Rng rng(900 + seed);
+    std::vector<NodeId> subset;
+    for (NodeId u = 0; u < base.num_nodes(); ++u) {
+      if (rng.NextBool(0.7)) subset.push_back(u);
+    }
+    const int k = 3 + static_cast<int>(seed % 2);
+    NeighborhoodKernel kernel;
+    kernel.BuildFromSubset(g, subset);
+    std::vector<std::vector<NodeId>> found;
+    kernel.ForEachClique(k, [&](std::span<const NodeId> nodes) {
+      found.emplace_back(nodes.begin(), nodes.end());
+      return true;
+    });
+    // Brute-force over the induced subgraph.
+    std::vector<std::vector<NodeId>> expected;
+    for (const auto& clique : testing::BruteForceKCliques(base, k)) {
+      bool inside = true;
+      for (NodeId u : clique) {
+        if (!std::binary_search(subset.begin(), subset.end(), u)) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) expected.push_back(clique);
+    }
+    EXPECT_EQ(testing::Canonicalize(found), testing::Canonicalize(expected));
+  }
+}
+
+TEST(NeighborhoodKernelTest, AlternatingBuildModesKeepsMapClean) {
+  // Regression guard: a root build populates the global->local map; a
+  // following subset build replaces local_nodes_ without touching the map,
+  // and the next root build must still start from a clean map.
+  Graph base = testing::RandomGraph(30, 0.4, 1000);
+  Dag dag(base, DegeneracyOrdering(base));
+  DynamicGraph dyn(base);
+  std::vector<NodeId> all(base.num_nodes());
+  for (NodeId u = 0; u < base.num_nodes(); ++u) all[u] = u;
+  NeighborhoodKernel kernel;
+  for (NodeId u = 0; u < base.num_nodes(); ++u) {
+    kernel.BuildFromRoot(dag, u);
+    const Count direct = kernel.CountCliques(2);
+    kernel.BuildFromSubset(dyn, all);  // interleave a subset build
+    kernel.BuildFromRoot(dag, u);
+    EXPECT_EQ(kernel.CountCliques(2), direct) << "u=" << u;
+  }
+}
+
+TEST(NeighborhoodKernelTest, HugeSparseNeighborhoodFallsBackToMerge) {
+  // Hub + ring under the *identity* ordering (degeneracy would cap every
+  // out-degree, which is exactly why real roots stay on the bitmap path):
+  // the hub is the highest id, so its out-neighborhood is the whole ring —
+  // beyond kMaxBitmapNodes, forcing the sorted-merge path, which must
+  // still count one triangle per ring edge.
+  const NodeId ring = NeighborhoodKernel::kMaxBitmapNodes + 500;
+  GraphBuilder builder;
+  for (NodeId i = 0; i < ring; ++i) {
+    builder.AddEdge(i, (i + 1) % ring);
+    builder.AddEdge(i, ring);  // hub
+  }
+  Graph g = builder.Build();
+  Dag dag(g, IdentityOrdering(g.num_nodes()));
+  const NodeId hub = ring;
+  ASSERT_EQ(dag.OutDegree(hub), ring);
+  NeighborhoodKernel kernel;
+  kernel.BuildFromRoot(dag, hub);
+  EXPECT_FALSE(kernel.uses_bitmap());
+  EXPECT_EQ(kernel.CountCliques(2), ring);  // triangles rooted at the hub
+  // The small ring version takes the bitmap path and must agree in kind.
+  const NodeId small_ring = 100;
+  GraphBuilder small_builder;
+  for (NodeId i = 0; i < small_ring; ++i) {
+    small_builder.AddEdge(i, (i + 1) % small_ring);
+    small_builder.AddEdge(i, small_ring);
+  }
+  Graph small = small_builder.Build();
+  Dag small_dag(small, IdentityOrdering(small.num_nodes()));
+  kernel.BuildFromRoot(small_dag, small_ring);
+  EXPECT_TRUE(kernel.uses_bitmap());
+  EXPECT_EQ(kernel.CountCliques(2), small_ring);
+}
+
+TEST(NeighborhoodKernelTest, EnumerationEarlyStops) {
+  Graph g = testing::RandomGraph(20, 0.5, 1100);
+  Dag dag(g, DegeneracyOrdering(g));
+  NeighborhoodKernel kernel;
+  int seen = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (dag.OutDegree(u) + 1 < 3) continue;
+    kernel.BuildFromRoot(dag, u);
+    const bool completed = kernel.ForEachClique(2, [&](std::span<const NodeId> nodes) {
+      EXPECT_EQ(nodes.size(), 3u);
+      EXPECT_EQ(nodes[0], u);  // root-first emission
+      return ++seen < 2;
+    });
+    if (!completed) break;
+  }
+  EXPECT_EQ(seen, 2);
+}
+
+// ---------------------------------------------------- galloping intersect
+TEST(IntersectSkewTest, GallopingMatchesMergeAcrossTheCrossover) {
+  // Sweep the size ratio through the kGallopSkew crossover; both code
+  // paths must agree with std::set_intersection exactly.
+  Rng rng(1200);
+  for (size_t small_size : {1u, 3u, 8u}) {
+    for (size_t factor : {1u, 8u, 31u, 32u, 33u, 64u, 200u}) {
+      const size_t large_size = small_size * factor;
+      std::vector<NodeId> small_set, large_set;
+      while (small_set.size() < small_size) {
+        small_set.push_back(static_cast<NodeId>(rng.NextBounded(10000)));
+        std::sort(small_set.begin(), small_set.end());
+        small_set.erase(std::unique(small_set.begin(), small_set.end()),
+                        small_set.end());
+      }
+      while (large_set.size() < large_size) {
+        large_set.push_back(static_cast<NodeId>(rng.NextBounded(10000)));
+        std::sort(large_set.begin(), large_set.end());
+        large_set.erase(std::unique(large_set.begin(), large_set.end()),
+                        large_set.end());
+      }
+      // Plant guaranteed overlaps so the intersection is non-trivial.
+      for (size_t i = 0; i < small_set.size(); i += 2) {
+        large_set.push_back(small_set[i]);
+      }
+      std::sort(large_set.begin(), large_set.end());
+      large_set.erase(std::unique(large_set.begin(), large_set.end()),
+                      large_set.end());
+
+      std::vector<NodeId> expected;
+      std::set_intersection(small_set.begin(), small_set.end(),
+                            large_set.begin(), large_set.end(),
+                            std::back_inserter(expected));
+      std::vector<NodeId> got;
+      IntersectSorted(small_set, large_set, &got);
+      EXPECT_EQ(got, expected) << "small=" << small_size
+                               << " large=" << large_set.size();
+      // Argument order must not matter.
+      IntersectSorted(large_set, small_set, &got);
+      EXPECT_EQ(got, expected);
+    }
+  }
+}
+
+TEST(IntersectSkewTest, ExtremeSkewEdgeCases) {
+  std::vector<NodeId> tiny = {500};
+  std::vector<NodeId> big(4096);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<NodeId>(i * 2);
+  std::vector<NodeId> out;
+  IntersectSorted(tiny, big, &out);  // 500 = 250*2 is present
+  EXPECT_EQ(out, std::vector<NodeId>{500});
+  tiny[0] = 501;  // absent
+  IntersectSorted(tiny, big, &out);
+  EXPECT_TRUE(out.empty());
+  tiny[0] = 9999;  // beyond the end
+  IntersectSorted(tiny, big, &out);
+  EXPECT_TRUE(out.empty());
+  IntersectSorted({}, big, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace dkc

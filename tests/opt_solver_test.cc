@@ -126,6 +126,35 @@ TEST(OptSolverTest, LoosePackingBoundStaysExact) {
   EXPECT_EQ(result->size(), 1u);
 }
 
+TEST(OptSolverTest, DisconnectedWindmillsDecomposeExactly) {
+  // Three separate windmills (each t triangles sharing a private hub): the
+  // conflict graph splits into three components of pairwise-colliding
+  // triangles, so the exact MIS decomposition solves three tiny problems
+  // and sums them. The packing bound floor(participating/k) = 9 per the
+  // whole graph stays loose; the answer must still be exactly 3.
+  constexpr NodeId kWindmills = 3;
+  constexpr NodeId kTriangles = 4;
+  GraphBuilder builder;
+  NodeId next = 0;
+  for (NodeId w = 0; w < kWindmills; ++w) {
+    const NodeId hub = next++;
+    for (NodeId t = 0; t < kTriangles; ++t) {
+      const NodeId a = next++;
+      const NodeId b = next++;
+      builder.AddEdge(hub, a);
+      builder.AddEdge(hub, b);
+      builder.AddEdge(a, b);
+    }
+  }
+  const Graph g = builder.Build();
+  OptOptions options;
+  options.k = 3;
+  auto result = SolveOpt(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), kWindmills);
+  EXPECT_TRUE(VerifyDisjointCliques(g, result->set).ok());
+}
+
 TEST(OptSolverTest, CliqueRichInstanceNoLongerPathological) {
   // Regression for the exact-MIS early stop: this exact instance (ER n=24,
   // p=0.5, k=3; 249 triangles, optimum 8 = floor(24/3)) used to spend ~24s

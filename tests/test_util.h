@@ -193,25 +193,27 @@ inline bool OracleCheckMaximal(const Graph& g, const CliqueStore& set) {
 /// every solver sees sparse, clustered, heavy-tailed, and community-shaped
 /// graphs. Deterministic per (case_index, seed).
 inline Graph RandomGraphMixed(int case_index, uint64_t seed) {
+  // Sizes were doubled once the solvers moved to the bitmap neighborhood
+  // kernel; the harness should keep pace with solver speed (ROADMAP).
   Rng rng(seed * 0x9E3779B9ull + static_cast<uint64_t>(case_index));
   switch (case_index % 4) {
     case 0: {
-      const NodeId n = 20 + static_cast<NodeId>(case_index % 5) * 5;
+      const NodeId n = 40 + static_cast<NodeId>(case_index % 5) * 10;
       const double p = 0.20 + 0.05 * static_cast<double>(case_index % 4);
       return ErdosRenyi(n, p, rng).value();
     }
     case 1: {
-      const NodeId n = 24 + static_cast<NodeId>(case_index % 3) * 8;
+      const NodeId n = 48 + static_cast<NodeId>(case_index % 3) * 16;
       return WattsStrogatz(n, 6, 0.2, rng).value();
     }
     case 2: {
-      const NodeId n = 25 + static_cast<NodeId>(case_index % 4) * 6;
+      const NodeId n = 50 + static_cast<NodeId>(case_index % 4) * 12;
       return BarabasiAlbert(n, 4, rng).value();
     }
     default: {
       PlantedPartitionSpec spec;
       spec.num_communities = 4;
-      spec.community_size = 7 + static_cast<NodeId>(case_index % 3);
+      spec.community_size = 14 + 2 * static_cast<NodeId>(case_index % 3);
       spec.p_in = 0.6;
       spec.p_out = 0.02;
       return PlantedPartition(spec, rng).value();

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "clique/kclique.h"
+#include "core/basic_framework.h"
 #include "core/lightweight.h"
 #include "core/solver.h"
 #include "dynamic/dynamic_solver.h"
@@ -56,6 +57,20 @@ void BM_CountKCliques(benchmark::State& state) {
 }
 BENCHMARK(BM_CountKCliques)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
 
+// Pool-parallel whole-graph counting; args are {k, threads}. On a
+// single-core host this mostly measures scheduling overhead — record it
+// anyway so multi-core hosts have a baseline to compare against.
+void BM_CountKCliquesThreads(benchmark::State& state) {
+  dkc::Graph g = MakeWs(2000, 16);
+  dkc::Dag dag(g, dkc::DegeneracyOrdering(g));
+  const int k = static_cast<int>(state.range(0));
+  dkc::ThreadPool pool(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dkc::CountKCliques(dag, k, &pool));
+  }
+}
+BENCHMARK(BM_CountKCliquesThreads)->Args({6, 2})->Args({6, 4});
+
 void BM_NodeScores(benchmark::State& state) {
   dkc::Graph g = MakeWs(2000, 16);
   dkc::Dag dag(g, dkc::DegeneracyOrdering(g));
@@ -82,6 +97,38 @@ BENCHMARK(BM_LightweightSolve)
     ->Args({4, 1})
     ->Args({6, 0})
     ->Args({6, 1});  // pruning off/on: the L vs LP ablation at kernel level
+
+// Full LP solve across a pool; args are {k, threads}. Solutions are
+// byte-identical to the serial run (the thread-sweep harness proves it);
+// this records the wall-clock side of that trade.
+void BM_LightweightSolveThreads(benchmark::State& state) {
+  dkc::Graph g = MakeWs(2000, 16);
+  dkc::LightweightOptions options;
+  options.k = static_cast<int>(state.range(0));
+  options.enable_score_pruning = true;
+  dkc::ThreadPool pool(static_cast<size_t>(state.range(1)));
+  options.pool = &pool;
+  for (auto _ : state) {
+    auto result = dkc::SolveLightweight(g, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_LightweightSolveThreads)->Args({6, 2})->Args({6, 4});
+
+// HG end-to-end across a pool (speculative FindOne batches); args are
+// {k, threads}, threads == 1 is the serial sweep.
+void BM_BasicSolveThreads(benchmark::State& state) {
+  dkc::Graph g = MakeWs(2000, 16);
+  dkc::BasicOptions options;
+  options.k = static_cast<int>(state.range(0));
+  dkc::ThreadPool pool(static_cast<size_t>(state.range(1)));
+  options.pool = state.range(1) > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    auto result = dkc::SolveBasic(g, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_BasicSolveThreads)->Args({4, 1})->Args({4, 4});
 
 void BM_DynamicUpdate(benchmark::State& state) {
   dkc::Graph g = MakeWs(2000, 12);

@@ -16,6 +16,7 @@
 #include "clique/clique_store.h"
 #include "util/memory.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace dkc {
@@ -46,10 +47,14 @@ class CliqueGraph {
   /// Build from materialized cliques. Runs in O(sum over nodes of
   /// (#cliques at node)^2) via the node -> cliques inverted index;
   /// duplicate pairs (cliques sharing several nodes) are deduplicated.
+  /// The dedup pass (per-row sort+unique, the dominant cost on dense
+  /// clique graphs) runs across `pool` when given; rows are independent,
+  /// so the result is identical at any thread count.
   static StatusOr<CliqueGraph> Build(
       const CliqueStore& cliques, NodeId num_graph_nodes,
       MemoryBudget* budget = nullptr,
-      const Deadline& deadline = Deadline::Unlimited());
+      const Deadline& deadline = Deadline::Unlimited(),
+      ThreadPool* pool = nullptr);
 
  private:
   std::vector<std::vector<CliqueId>> adjacency_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <string>
 
 namespace dkc {
 
@@ -30,12 +32,17 @@ Count CountKCliques(const Dag& dag, int k, ThreadPool* pool,
                     const Deadline& deadline, bool* oot) {
   std::atomic<Count> total{0};
   struct State {
+    std::unique_ptr<KernelArena> arena;  // stable address across State moves
     KCliqueEnumerator enumerator;
     Count local = 0;
   };
   const bool completed = DriveRoots(
       dag.num_nodes(), pool, deadline,
-      [&] { return State{KCliqueEnumerator(dag, k), 0}; },
+      [&] {
+        auto arena = std::make_unique<KernelArena>();
+        KernelArena* raw = arena.get();
+        return State{std::move(arena), KCliqueEnumerator(dag, k, raw), 0};
+      },
       [](NodeId u, State* s) { s->local += s->enumerator.CountRooted(u); },
       [&](State* s) { total.fetch_add(s->local); });
   if (oot != nullptr) *oot = !completed;
@@ -48,6 +55,7 @@ NodeScores ComputeNodeScores(const Dag& dag, int k, ThreadPool* pool,
   result.per_node.assign(dag.num_nodes(), 0);
   std::atomic<Count> total{0};
   struct State {
+    std::unique_ptr<KernelArena> arena;  // stable address across State moves
     KCliqueEnumerator enumerator;
     std::vector<Count> counts;
     Count local_total = 0;
@@ -55,7 +63,9 @@ NodeScores ComputeNodeScores(const Dag& dag, int k, ThreadPool* pool,
   const bool completed = DriveRoots(
       dag.num_nodes(), pool, deadline,
       [&] {
-        return State{KCliqueEnumerator(dag, k),
+        auto arena = std::make_unique<KernelArena>();
+        KernelArena* raw = arena.get();
+        return State{std::move(arena), KCliqueEnumerator(dag, k, raw),
                      std::vector<Count>(dag.num_nodes(), 0), 0};
       },
       [](NodeId u, State* s) {
@@ -74,11 +84,143 @@ NodeScores ComputeNodeScores(const Dag& dag, int k, ThreadPool* pool,
 
 void ForEachKCliqueInSubset(
     const DynamicGraph& g, std::span<const NodeId> subset, int k,
-    const std::function<bool(std::span<const NodeId>)>& cb) {
+    const std::function<bool(std::span<const NodeId>)>& cb,
+    NeighborhoodKernel* kernel) {
   if (subset.size() < static_cast<size_t>(k)) return;
-  NeighborhoodKernel kernel;
-  kernel.BuildFromSubset(g, subset);
-  kernel.ForEachClique(k, cb);
+  if (kernel != nullptr) {
+    kernel->BuildFromSubset(g, subset);
+    kernel->ForEachClique(k, cb);
+    return;
+  }
+  // Fallback kernel (and its arena allocation) only when the caller has no
+  // persistent one — the dynamic engine's per-update path always does.
+  NeighborhoodKernel local;
+  local.BuildFromSubset(g, subset);
+  local.ForEachClique(k, cb);
+}
+
+namespace {
+
+// Budget cadence shared by the serial and parallel listing paths: charge /
+// check once per this many cliques, and charge that many cliques' storage.
+constexpr Count kListCheckPeriod = 0x1000;
+
+int64_t ListChargeBytes(int k) {
+  return static_cast<int64_t>(kListCheckPeriod) * k *
+         static_cast<int64_t>(sizeof(NodeId));
+}
+
+}  // namespace
+
+Status ListKCliques(const Dag& dag, int k, ThreadPool* pool,
+                    const Deadline& deadline, MemoryBudget* memory,
+                    const char* what, CliqueStore* store,
+                    std::vector<Count>* node_scores) {
+  const NodeId n = dag.num_nodes();
+  const size_t workers = pool == nullptr ? 0 : pool->num_threads();
+  std::atomic<bool> oom{false};
+  std::atomic<bool> oot{false};
+  std::atomic<Count> listed{0};
+  auto drain = [&](std::span<const NodeId> nodes) {
+    store->Add(nodes);
+    if (node_scores != nullptr) {
+      for (NodeId u : nodes) ++(*node_scores)[u];
+    }
+  };
+  if (workers <= 1 || n < static_cast<NodeId>(2 * workers)) {
+    KernelArena arena;
+    KCliqueEnumerator enumerator(dag, k, &arena);
+    Count since_check = 0;
+    enumerator.ForEach([&](std::span<const NodeId> nodes) {
+      drain(nodes);
+      if ((++since_check & (kListCheckPeriod - 1)) == 0) {
+        if (memory != nullptr && !memory->Charge(ListChargeBytes(k))) {
+          oom.store(true);
+          return false;
+        }
+        if (deadline.Expired()) {
+          oot.store(true);
+          return false;
+        }
+      }
+      return true;
+    });
+    listed.store(since_check);
+  } else {
+    // Ordered reduction: workers list whole chunks of roots into
+    // chunk-indexed flat buffers (k node ids per clique); the buffers are
+    // drained in ascending chunk order below, reproducing the serial
+    // enumeration order exactly.
+    const NodeId chunk = std::max<NodeId>(
+        1, std::min<NodeId>(512, n / static_cast<NodeId>(workers * 4)));
+    const NodeId num_chunks = (n + chunk - 1) / chunk;
+    std::vector<std::vector<NodeId>> out(num_chunks);
+    std::atomic<NodeId> cursor{0};
+    for (size_t w = 0; w < workers; ++w) {
+      pool->Submit([&] {
+        KernelArena arena;
+        KCliqueEnumerator enumerator(dag, k, &arena);
+        Count since_check = 0;
+        for (;;) {
+          const NodeId c = cursor.fetch_add(1);
+          if (c >= num_chunks || oom.load(std::memory_order_relaxed) ||
+              oot.load(std::memory_order_relaxed)) {
+            break;
+          }
+          if (deadline.Expired()) {
+            oot.store(true, std::memory_order_relaxed);
+            break;
+          }
+          std::vector<NodeId>& buf = out[c];
+          const NodeId end = std::min<NodeId>(n, (c + 1) * chunk);
+          for (NodeId u = c * chunk; u < end; ++u) {
+            enumerator.ForEachRooted(u, [&](std::span<const NodeId> nodes) {
+              buf.insert(buf.end(), nodes.begin(), nodes.end());
+              if ((++since_check & (kListCheckPeriod - 1)) == 0) {
+                // MemoryBudget is atomic, so concurrent charges keep the
+                // OOM decision sound (if approximately timed).
+                if (memory != nullptr && !memory->Charge(ListChargeBytes(k))) {
+                  oom.store(true, std::memory_order_relaxed);
+                  return false;
+                }
+                if (deadline.Expired()) {
+                  oot.store(true, std::memory_order_relaxed);
+                  return false;
+                }
+              }
+              return true;
+            });
+            if (oom.load(std::memory_order_relaxed) ||
+                oot.load(std::memory_order_relaxed)) {
+              break;
+            }
+          }
+        }
+        listed.fetch_add(since_check, std::memory_order_relaxed);
+      });
+    }
+    pool->Wait();
+    if (!oom.load() && !oot.load()) {
+      for (std::vector<NodeId>& buf : out) {
+        for (size_t i = 0; i + k <= buf.size(); i += k) {
+          drain(std::span<const NodeId>(buf.data() + i, k));
+        }
+        // Release each chunk as it lands in the store: the budget charges
+        // one copy of the cliques, so don't hold two to the end.
+        std::vector<NodeId>().swap(buf);
+      }
+    }
+  }
+  if (oom.load()) {
+    return Status::MemoryBudgetExceeded(
+        std::string(what) + " clique store after " +
+        std::to_string(listed.load()) + " cliques");
+  }
+  if (oot.load()) {
+    return Status::TimeBudgetExceeded(std::string(what) +
+                                      " clique enumeration");
+  }
+  return Status::OK();
 }
 
 }  // namespace dkc

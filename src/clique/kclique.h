@@ -18,10 +18,13 @@
 #include <span>
 #include <vector>
 
+#include "clique/clique_store.h"
 #include "clique/neighborhood.h"
 #include "graph/dag.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
+#include "util/memory.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -31,8 +34,10 @@ namespace dkc {
 /// NeighborhoodKernel. Not thread-safe; create one enumerator per thread.
 class KCliqueEnumerator {
  public:
-  /// `k >= 1`. The enumerator borrows `dag`, which must outlive it.
-  KCliqueEnumerator(const Dag& dag, int k) : dag_(dag), k_(k) {}
+  /// `k >= 1`. The enumerator borrows `dag` (and `arena`, when given),
+  /// which must outlive it.
+  KCliqueEnumerator(const Dag& dag, int k, KernelArena* arena = nullptr)
+      : dag_(dag), k_(k), kernel_(arena) {}
 
   /// Invoke `cb(nodes)` once per k-clique, where `nodes` is a span of k node
   /// ids in descending DAG-rank order (nodes[0] is the root). `cb` returns
@@ -56,7 +61,9 @@ class KCliqueEnumerator {
     }
     if (dag_.OutDegree(u) + 1 < static_cast<Count>(k_)) return true;
     kernel_.BuildFromRoot(dag_, u);
-    return kernel_.ForEachClique(k_ - 1, cb);
+    // Enumeration callers (GC/OPT listing, the verifier) consume the whole
+    // per-root enumeration, so build the rows eagerly in one pass.
+    return kernel_.ForEachClique(k_ - 1, cb, /*eager=*/true);
   }
 
   /// Number of k-cliques rooted at `u`.
@@ -92,10 +99,28 @@ NodeScores ComputeNodeScores(const Dag& dag, int k, ThreadPool* pool = nullptr,
 /// Enumerate the k-cliques of the subgraph induced on `subset` in the
 /// *current* state of a dynamic graph. `subset` must be sorted and unique.
 /// Used by the dynamic index (Algorithm 5), where B = C ∪ free neighbors is
-/// tiny. `cb` returns false to stop early.
+/// tiny. `cb` returns false to stop early. Callers on a hot path pass a
+/// persistent `kernel` so the scratch arena is reused across calls; when
+/// null a throwaway kernel is used.
 void ForEachKCliqueInSubset(
     const DynamicGraph& g, std::span<const NodeId> subset, int k,
-    const std::function<bool(std::span<const NodeId>)>& cb);
+    const std::function<bool(std::span<const NodeId>)>& cb,
+    NeighborhoodKernel* kernel = nullptr);
+
+/// Materialize every k-clique of the DAG'ed graph into `store` — and, when
+/// `node_scores` is given, bump each member's participation count — in the
+/// exact ascending-root DFS order of KCliqueEnumerator::ForEach. With a
+/// pool the roots are listed in parallel into chunk-indexed buffers that
+/// are drained in ascending root order afterwards (a deterministic ordered
+/// reduction), so store contents and clique ids are byte-identical at any
+/// thread count. `memory`, when given, is charged for the stored cliques;
+/// exhaustion returns MemoryBudgetExceeded and an expired deadline returns
+/// TimeBudgetExceeded, both tagged with `what`. The shared enumeration pass
+/// behind GC (Algorithm 2, line 2) and OPT (step 1).
+Status ListKCliques(const Dag& dag, int k, ThreadPool* pool,
+                    const Deadline& deadline, MemoryBudget* memory,
+                    const char* what, CliqueStore* store,
+                    std::vector<Count>* node_scores = nullptr);
 
 }  // namespace dkc
 

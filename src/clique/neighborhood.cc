@@ -58,9 +58,32 @@ void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
 }
 
 void NeighborhoodKernel::PrepareMap(NodeId num_nodes) {
-  if (local_of_.size() < num_nodes) local_of_.resize(num_nodes, kNoLocal);
-  for (NodeId v : map_entries_) local_of_[v] = kNoLocal;
-  map_entries_.clear();
+  if (a_->local_of.size() < num_nodes) {
+    a_->local_of.resize(num_nodes, 0);
+    a_->map_epoch.resize(num_nodes, 0);
+  }
+  // Bumping the epoch invalidates every previous entry at once — no walk
+  // over the old universe. On the (rare) wrap, everything really is stale,
+  // so one full reset restores the invariant.
+  if (++a_->epoch == 0) {
+    std::fill(a_->map_epoch.begin(), a_->map_epoch.end(), 0);
+    a_->epoch = 1;
+  }
+}
+
+void NeighborhoodKernel::MaterializeRow(NodeId i, uint64_t* row) {
+  std::fill_n(row, words_, uint64_t{0});
+  const uint32_t epoch = a_->epoch;
+  Count deg = 0;
+  for (NodeId w : dag_->OutNeighbors(uni_[i])) {
+    if (a_->map_epoch[w] != epoch) continue;
+    const NodeId j = a_->local_of[w];
+    row[j >> 6] |= uint64_t{1} << (j & 63);
+    ++deg;
+  }
+  a_->deg_bound[i] = deg;
+  a_->row_built[i >> 6] |= uint64_t{1} << (i & 63);
+  ++rows_built_;
 }
 
 NodeId NeighborhoodKernel::BuildFromRoot(const Dag& dag, NodeId root,
@@ -68,57 +91,137 @@ NodeId NeighborhoodKernel::BuildFromRoot(const Dag& dag, NodeId root,
   PrepareMap(dag.num_nodes());
   has_root_ = true;
   root_ = root;
-  local_nodes_.clear();
-  dag.InducedOutNeighborhood(root, valid, &local_nodes_);
-  s_ = static_cast<NodeId>(local_nodes_.size());
-  for (NodeId i = 0; i < s_; ++i) local_of_[local_nodes_[i]] = i;
-  map_entries_ = local_nodes_;
+  dag_ = &dag;
+  rows_built_ = 0;
+  row_state_ = RowState::kUnset;
+  if (valid == nullptr) {
+    // Unfiltered universe: the DAG's sorted out-list IS the universe —
+    // point at it instead of copying (the counting/scoring hot path).
+    const auto out = dag.OutNeighbors(root);
+    uni_ = out.data();
+    s_ = static_cast<NodeId>(out.size());
+  } else {
+    a_->local_nodes.clear();
+    dag.InducedOutNeighborhood(root, valid, &a_->local_nodes);
+    uni_ = a_->local_nodes.data();
+    s_ = static_cast<NodeId>(a_->local_nodes.size());
+  }
+  const uint32_t epoch = a_->epoch;
+  for (NodeId i = 0; i < s_; ++i) {
+    a_->local_of[uni_[i]] = i;
+    a_->map_epoch[uni_[i]] = epoch;
+  }
 
   use_bitmap_ = s_ <= kMaxBitmapNodes;
-  local_deg_.assign(s_, 0);
   if (use_bitmap_) {
+    // Only the remap exists so far; the first traversal picks how rows
+    // come to exist (bulk for exhaustive passes, on-first-touch for pruned
+    // ones) — see RowState.
     words_ = (s_ + 63) / 64;
-    rows_.assign(static_cast<size_t>(s_) * words_, 0);
-    for (NodeId i = 0; i < s_; ++i) {
-      uint64_t* row = rows_.data() + static_cast<size_t>(i) * words_;
-      for (NodeId w : dag.OutNeighbors(local_nodes_[i])) {
-        const NodeId j = local_of_[w];
-        if (j == kNoLocal) continue;
-        row[j >> 6] |= uint64_t{1} << (j & 63);
-        ++local_deg_[i];
-      }
-    }
   } else {
-    adj_offsets_.assign(s_ + 1, 0);
-    adj_list_.clear();
+    a_->deg_bound.resize(s_);
+    a_->adj_offsets.assign(s_ + 1, 0);
+    a_->adj_list.clear();
     for (NodeId i = 0; i < s_; ++i) {
       // OutNeighbors is ascending in node id and local ids are assigned in
       // that same order, so each local list comes out sorted.
-      for (NodeId w : dag.OutNeighbors(local_nodes_[i])) {
-        if (local_of_[w] != kNoLocal) adj_list_.push_back(local_of_[w]);
+      for (NodeId w : dag.OutNeighbors(uni_[i])) {
+        if (a_->map_epoch[w] == epoch) {
+          a_->adj_list.push_back(a_->local_of[w]);
+        }
       }
-      adj_offsets_[i + 1] = static_cast<Count>(adj_list_.size());
-      local_deg_[i] = adj_offsets_[i + 1] - adj_offsets_[i];
+      a_->adj_offsets[i + 1] = static_cast<Count>(a_->adj_list.size());
+      a_->deg_bound[i] = a_->adj_offsets[i + 1] - a_->adj_offsets[i];
     }
   }
   return s_;
 }
 
+void NeighborhoodKernel::PrepareLazyRows() {
+  // Rows keep stale contents from earlier roots: each row is cleared and
+  // filled only when a DFS branch first touches it (MaterializeRow). Until
+  // then deg_bound holds the cheap upper bound min(out-degree, s-1) — it
+  // can only over-admit branches, never change results (see design note).
+  a_->rows.resize(static_cast<size_t>(s_) * words_);
+  a_->row_built.assign(words_, 0);
+  a_->deg_bound.resize(s_);
+  for (NodeId i = 0; i < s_; ++i) {
+    a_->deg_bound[i] = std::min<Count>(dag_->OutDegree(uni_[i]), s_ - 1);
+  }
+  row_state_ = RowState::kLazy;
+}
+
+void NeighborhoodKernel::MaterializeAllRows() {
+  if (row_state_ == RowState::kAllBuilt) return;
+  if (row_state_ == RowState::kLazy) {
+    for (NodeId i = 0; i < s_; ++i) {
+      uint64_t* row = a_->rows.data() + static_cast<size_t>(i) * words_;
+      if ((a_->row_built[i >> 6] >> (i & 63) & 1) == 0) MaterializeRow(i, row);
+    }
+  } else {
+    // Straight from kUnset: one tight fill pass, no per-row bookkeeping —
+    // the eager build of kernel v1, minus its matrix memset.
+    a_->row_built.assign(words_, ~uint64_t{0});
+    a_->deg_bound.resize(s_);
+    const uint32_t epoch = a_->epoch;
+    const uint32_t* stamps = a_->map_epoch.data();
+    const NodeId* local_of = a_->local_of.data();
+    if (words_ == 1) {
+      // One-word rows accumulate in a register and store once: no memset,
+      // no read-modify-write per edge.
+      a_->rows.resize(s_);
+      for (NodeId i = 0; i < s_; ++i) {
+        uint64_t row = 0;
+        Count deg = 0;
+        for (NodeId w : dag_->OutNeighbors(uni_[i])) {
+          if (stamps[w] != epoch) continue;
+          row |= uint64_t{1} << local_of[w];
+          ++deg;
+        }
+        a_->rows[i] = row;
+        a_->deg_bound[i] = deg;
+      }
+    } else {
+      a_->rows.assign(static_cast<size_t>(s_) * words_, 0);
+      for (NodeId i = 0; i < s_; ++i) {
+        uint64_t* row = a_->rows.data() + static_cast<size_t>(i) * words_;
+        Count deg = 0;
+        for (NodeId w : dag_->OutNeighbors(uni_[i])) {
+          if (stamps[w] != epoch) continue;
+          const NodeId j = local_of[w];
+          row[j >> 6] |= uint64_t{1} << (j & 63);
+          ++deg;
+        }
+        a_->deg_bound[i] = deg;
+      }
+    }
+    rows_built_ = s_;
+  }
+  row_state_ = RowState::kAllBuilt;
+}
+
 NodeId NeighborhoodKernel::BuildFromSubset(const DynamicGraph& g,
                                            std::span<const NodeId> subset) {
   has_root_ = false;
-  local_nodes_.assign(subset.begin(), subset.end());
+  dag_ = nullptr;
+  a_->local_nodes.assign(subset.begin(), subset.end());
+  uni_ = a_->local_nodes.data();
   s_ = static_cast<NodeId>(subset.size());
 
   use_bitmap_ = s_ <= kMaxBitmapNodes;
-  local_deg_.assign(s_, 0);
+  a_->deg_bound.assign(s_, 0);
+  // Eager build: the orientation walk below produces every row as a
+  // by-product of recovering local positions.
+  row_state_ = RowState::kAllBuilt;
   if (use_bitmap_) {
     words_ = (s_ + 63) / 64;
-    rows_.assign(static_cast<size_t>(s_) * words_, 0);
+    a_->rows.assign(static_cast<size_t>(s_) * words_, 0);
+    a_->row_built.assign(words_, ~uint64_t{0});
   } else {
-    adj_offsets_.assign(s_ + 1, 0);
-    adj_list_.clear();
+    a_->adj_offsets.assign(s_ + 1, 0);
+    a_->adj_list.clear();
   }
+  rows_built_ = s_;
   // No global-id map here: `subset` and every neighbor list are sorted, so
   // a two-pointer walk recovers local positions without touching O(n)
   // state — this path runs once per dynamic update on tiny subsets.
@@ -131,16 +234,16 @@ NodeId NeighborhoodKernel::BuildFromSubset(const DynamicGraph& g,
       while (ni < neighbors.size() && neighbors[ni] < subset[i]) ++ni;
       if (ni < neighbors.size() && neighbors[ni] == subset[i]) {
         if (use_bitmap_) {
-          rows_[static_cast<size_t>(j) * words_ + (i >> 6)] |=
+          a_->rows[static_cast<size_t>(j) * words_ + (i >> 6)] |=
               uint64_t{1} << (i & 63);
         } else {
-          adj_list_.push_back(i);
+          a_->adj_list.push_back(i);
         }
-        ++local_deg_[j];
+        ++a_->deg_bound[j];
       }
     }
     if (!use_bitmap_) {
-      adj_offsets_[j + 1] = static_cast<Count>(adj_list_.size());
+      a_->adj_offsets[j + 1] = static_cast<Count>(a_->adj_list.size());
     }
   }
   return s_;
@@ -164,18 +267,24 @@ struct ScoreVisitor {
   static constexpr bool kLeafIterates = true;
   const NodeId* local_nodes;
   Count* counts;
-  std::vector<NodeId>* prefix;  // local ids
+  Count* subtree;  // q+1 slots; subtree[depth] = cliques closed below here
+  int depth = 0;
   Count total = 0;
-  bool Enter(NodeId i) {
-    prefix->push_back(i);
+  bool Enter(NodeId) {
+    subtree[++depth] = 0;
     return true;
   }
-  void Exit(NodeId) { prefix->pop_back(); }
+  void Exit(NodeId i) {
+    // A branch node participates in exactly the cliques its subtree
+    // closed: fold the counter down instead of walking the whole prefix on
+    // every leaf bundle (O(1) per node instead of O(depth) per leaf).
+    const Count c = subtree[depth--];
+    counts[local_nodes[i]] += c;
+    subtree[depth] += c;
+  }
   bool LeafCount(Count n) {
-    // Every candidate closes one clique with the current prefix: each
-    // prefix node gains n; the candidates themselves gain 1 each (LeafId).
     total += n;
-    for (NodeId p : *prefix) counts[local_nodes[p]] += n;
+    subtree[depth] += n;
     return true;
   }
   bool LeafId(NodeId i) {
@@ -189,35 +298,72 @@ struct MinScoreVisitor {
   const Count* local_scores;
   bool prune;
   Count running;  // base + scores of the current prefix
-  std::vector<NodeId>* prefix;  // local ids
-  std::vector<NodeId>* best;    // local ids
+  NodeId* prefix;  // local ids, capacity q
+  NodeId* best;    // local ids, capacity q
+  int depth = 0;
+  int best_len = 0;      // 0 while best_score is a phantom bound
   Count best_score = 0;
   bool have_best = false;
   bool Enter(NodeId i) {
-    // Scores are non-negative, so the running sum lower-bounds every
-    // completion of the branch: cutting here skips only strictly-worse
-    // cliques and cannot change the first-found-in-DFS-order minimum.
-    if (prune && have_best && running + local_scores[i] > best_score) {
+    // Scores are non-negative, so running + score(i) lower-bounds every
+    // completion of the branch — and a completion *equal* to the best can
+    // never replace it (only strict improvements do), so cutting at >= is
+    // safe and cannot change the first-found-in-DFS-order minimum.
+    if (prune && have_best && running + local_scores[i] >= best_score) {
       return false;
     }
-    prefix->push_back(i);
+    prefix[depth++] = i;
     running += local_scores[i];
     return true;
   }
   void Exit(NodeId i) {
     running -= local_scores[i];
-    prefix->pop_back();
+    --depth;
   }
   bool LeafCount(Count) { return true; }
   bool LeafId(NodeId i) {
-    const Count total = running + local_scores[i];
-    if (!have_best || total < best_score) {
-      best_score = total;
-      *best = *prefix;
-      best->push_back(i);
+    const Count candidate_total = running + local_scores[i];
+    if (!have_best || candidate_total < best_score) {
+      best_score = candidate_total;
+      std::copy(prefix, prefix + depth, best);
+      best[depth] = i;
+      best_len = depth + 1;
       have_best = true;
     }
     return true;
+  }
+};
+
+// Second pass of the greedy-seeded FindMin (see FindMinScoreClique): the
+// first pass proved no clique scores below `target`, so the answer is the
+// first clique in DFS order that *reaches* target — an early-exit search
+// with the tightest possible cut (any prefix strictly above target is dead).
+struct TieSeekVisitor {
+  static constexpr bool kLeafIterates = true;
+  const Count* local_scores;
+  Count running;  // base + scores of the current prefix
+  Count target;
+  NodeId* prefix;  // local ids, capacity q
+  NodeId* best;    // local ids, capacity q
+  int depth = 0;
+  int best_len = 0;
+  bool Enter(NodeId i) {
+    if (running + local_scores[i] > target) return false;
+    prefix[depth++] = i;
+    running += local_scores[i];
+    return true;
+  }
+  void Exit(NodeId i) {
+    running -= local_scores[i];
+    --depth;
+  }
+  bool LeafCount(Count) { return true; }
+  bool LeafId(NodeId i) {
+    if (running + local_scores[i] > target) return true;
+    std::copy(prefix, prefix + depth, best);
+    best[depth] = i;
+    best_len = depth + 1;
+    return false;  // first hit is the answer; stop the traversal
   }
 };
 
@@ -225,14 +371,18 @@ struct MinScoreVisitor {
 
 Count NeighborhoodKernel::CountCliques(int q) {
   CountVisitor visitor;
-  Visit(q, visitor);
+  // Counting is exhaustive — nearly every row is intersected anyway, so
+  // materialize them in one sequential pass and run the read-only DFS.
+  Visit(q, visitor, /*eager=*/true);
   return visitor.total;
 }
 
 Count NeighborhoodKernel::ScoreCliques(int q, std::vector<Count>* counts) {
-  prefix_scratch_.clear();
-  ScoreVisitor visitor{local_nodes_.data(), counts->data(), &prefix_scratch_};
-  Visit(q, visitor);
+  if (q <= 0) return 0;
+  a_->subtree_counts.assign(static_cast<size_t>(q) + 1, 0);
+  ScoreVisitor visitor{uni_, counts->data(),
+                       a_->subtree_counts.data()};
+  Visit(q, visitor, /*eager=*/true);
   return visitor.total;
 }
 
@@ -242,18 +392,76 @@ bool NeighborhoodKernel::FindMinScoreClique(int q,
                                             std::vector<NodeId>* clique,
                                             Count* clique_score) {
   if (q <= 0 || s_ < static_cast<NodeId>(q)) return false;
-  local_scores_.resize(s_);
+  a_->local_scores.resize(s_);
   for (NodeId i = 0; i < s_; ++i) {
-    local_scores_[i] = scores[local_nodes_[i]];
+    a_->local_scores[i] = scores[uni_[i]];
   }
-  prefix_scratch_.clear();
-  best_scratch_.clear();
-  MinScoreVisitor visitor{local_scores_.data(), prune, base_score,
-                          &prefix_scratch_, &best_scratch_};
-  Visit(q, visitor);
-  if (!visitor.have_best) return false;
+  a_->prefix_scratch.resize(static_cast<size_t>(q));
+  a_->best_scratch.resize(static_cast<size_t>(q));
+  MinScoreVisitor visitor{a_->local_scores.data(), prune, base_score,
+                          a_->prefix_scratch.data(), a_->best_scratch.data()};
+
+  // Greedy-seeded two-pass search (pruned mode, one-word universes): a
+  // greedy min-score descent yields a real clique score S_g; pass 1 runs
+  // the normal DFS with S_g as a *phantom* incumbent, so pruning is at
+  // full strength from the first branch. Updates still happen only on
+  // strictly-smaller totals — and every prefix of a strictly-better clique
+  // stays under the bound (scores are non-negative), so if the true
+  // minimum is below S_g, pass 1 returns exactly the first-found minimum.
+  // Otherwise the minimum IS S_g and pass 2 early-exits at the first
+  // clique reaching it — again the DFS-order tie-break winner. Results
+  // are identical to the plain DFS; only the amount of pruning differs.
+  if (prune && use_bitmap_ && words_ == 1 && q >= 2) {
+    MaterializeAllRows();  // the dive needs rows; the DFS reuses them
+    const uint64_t full = s_ == 64 ? ~uint64_t{0} : (uint64_t{1} << s_) - 1;
+    const uint64_t* rows = a_->rows.data();
+    const Count* ls = a_->local_scores.data();
+    uint64_t cand = full;
+    Count greedy_score = base_score;
+    bool greedy_ok = true;
+    for (int d = 0; d < q; ++d) {
+      if (cand == 0) {
+        greedy_ok = false;
+        break;
+      }
+      NodeId pick = 0;
+      Count pick_score = 0;
+      bool first = true;
+      for (uint64_t bits = cand; bits != 0; bits &= bits - 1) {
+        const NodeId i = static_cast<NodeId>(std::countr_zero(bits));
+        if (first || ls[i] < pick_score) {
+          pick = i;
+          pick_score = ls[i];
+          first = false;
+        }
+      }
+      greedy_score += pick_score;
+      if (d + 1 < q) cand &= rows[pick];
+    }
+    if (greedy_ok) {
+      visitor.have_best = true;  // phantom: best_len stays 0
+      visitor.best_score = greedy_score;
+      Visit(q, visitor);
+      if (visitor.best_len == 0) {
+        // Nothing beats the greedy score: seek its first DFS occurrence.
+        TieSeekVisitor tie{ls,        base_score,
+                           greedy_score, a_->prefix_scratch.data(),
+                           a_->best_scratch.data()};
+        Visit(q, tie);
+        visitor.best_len = tie.best_len;
+        visitor.best_score = greedy_score;
+      }
+    } else {
+      Visit(q, visitor);
+    }
+  } else {
+    Visit(q, visitor, /*eager=*/true);
+  }
+  if (!visitor.have_best || visitor.best_len == 0) return false;
   clique->clear();
-  for (NodeId i : best_scratch_) clique->push_back(local_nodes_[i]);
+  for (int i = 0; i < visitor.best_len; ++i) {
+    clique->push_back(uni_[a_->best_scratch[i]]);
+  }
   *clique_score = visitor.best_score;
   return true;
 }

@@ -1,12 +1,12 @@
 // The shared neighborhood kernel behind every k-clique DFS in the library.
 //
-// Design note — local remap + bitmap adjacency
-// --------------------------------------------
+// Design note — local remap + bitmap adjacency, v2: lazy rows + arena
+// ------------------------------------------------------------------
 // Every solver in this library walks the same search tree: pick a root u of
 // an oriented graph, then find (k-1)-cliques inside N+(u) by repeatedly
 // intersecting candidate sets with out-neighborhoods (kClist [13]). The
 // naive form pays a sorted-set merge per branch. This kernel instead
-// materializes the *induced* neighborhood once per root:
+// remaps the *induced* neighborhood once per root:
 //
 //   1. the universe (N+(u), optionally validity-filtered, or an arbitrary
 //      sorted node subset) is remapped to dense local ids 0..s-1, assigned
@@ -17,19 +17,45 @@
 //   3. every deeper intersection becomes a word-wise AND + popcount, and
 //      candidate sets are single bitmap rows on a per-depth stack.
 //
+// v2 makes two structural changes over the eager per-root build:
+//
+//   * Lazy row materialization (root mode). Only the remap table and a
+//     per-row out-degree *upper bound* are built up front; a bit-matrix row
+//     is materialized the first time a DFS branch needs to intersect it,
+//     tracked by a built-bitmap. Rows of candidates that are pruned before
+//     ever heading a branch (low degree, score cuts, exhausted validity)
+//     are never built — exactly the rows the first DFS level discards on
+//     the filtered passes (HG FindOne, L/LP FindMin). `rows_built()`
+//     exposes the per-build count for tests and diagnostics.
+//   * KernelArena. All scratch buffers (remap tables, row storage,
+//     candidate stacks, visitor scratch) live in one flat arena object
+//     that persists across roots, so per-root cost is proportional to the
+//     neighborhood actually touched, never to allocation. A kernel owns a
+//     private arena by default; workers that drive many roots (DriveRoots
+//     states, the dynamic engine's per-update subset enumeration) hold one
+//     arena per worker and lend it to their kernels. An arena must not be
+//     lent to two kernels that are mid-traversal at the same time.
+//
+// The common case — DAG out-degrees are degeneracy-bounded, so per-root
+// universes almost always fit one machine word — runs a specialized
+// single-word recursion: the candidate set is a uint64_t in a register and
+// intersection is one AND, no per-depth stack traffic.
+//
 // Because local ids are ascending in global id and set bits are visited
 // LSB-first, the DFS visits branches in exactly the order the historical
 // sorted-merge recursions did, so counting, scoring, min-clique search and
 // enumeration all produce bit-identical results — including "first found
-// in DFS order" tie-breaks — just faster.
+// in DFS order" tie-breaks — just faster. Degree pruning with the lazy
+// upper bound keeps this property: the bound only ever *admits* branches
+// the exact induced degree would admit, and an admitted branch that cannot
+// complete a clique dies at the candidate-count check without emitting
+// anything.
 //
-// Fallback to sorted-merge: the bit matrix costs s*ceil(s/64) words to
-// clear and build. DAG out-degrees are degeneracy-bounded, so per-root
-// universes are small and dense enough that the matrix always wins; but an
-// arbitrary subset (BuildFromSubset) can be huge and sparse. When a row
-// would span more than kMaxRowWords machine words (s > kMaxBitmapNodes),
-// the kernel keeps the induced adjacency as sorted local-id lists and runs
-// the classical merge recursion instead — same visit order, same results.
+// Fallback to sorted-merge: an arbitrary subset (BuildFromSubset) can be
+// huge and sparse. When a row would span more than kMaxRowWords machine
+// words (s > kMaxBitmapNodes), the kernel keeps the induced adjacency as
+// sorted local-id lists and runs the classical merge recursion instead —
+// same visit order, same results.
 //
 // Visitors: the private Visit/BitRec/MergeRec templates drive a visitor
 // with Enter/Exit (branch hooks, Enter may prune), LeafCount (candidate
@@ -45,6 +71,7 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <type_traits>
@@ -67,10 +94,46 @@ void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
 /// Size ratio at which IntersectSorted switches from merging to galloping.
 inline constexpr size_t kGallopSkew = 32;
 
+/// Flat scratch buffers shared by every per-root build of one worker.
+/// Buffers only ever grow; reusing one arena across roots (and across the
+/// kernels of one worker, one traversal at a time) makes the steady-state
+/// per-root cost allocation-free.
+struct KernelArena {
+  // Universe / remap. The global->local map is epoch-stamped: an entry is
+  // live only when its stamp matches the arena's current epoch, so a new
+  // build invalidates the whole map by bumping one counter instead of
+  // walking and clearing the previous universe.
+  std::vector<NodeId> local_nodes;  // copy buffer (filtered/subset builds)
+  std::vector<NodeId> local_of;     // global id -> local id (root mode)
+  std::vector<uint32_t> map_epoch;  // stamp per global id
+  uint32_t epoch = 0;
+  std::vector<Count> deg_bound;     // per-local-id induced out-degree: an
+                                    // upper bound until the row is built,
+                                    // exact afterwards
+
+  // Bitmap representation.
+  std::vector<uint64_t> rows;       // s rows of `words` words
+  std::vector<uint64_t> row_built;  // bit i set once row i is materialized
+  std::vector<uint64_t> cand_stack; // one candidate bitmap per depth
+
+  // Sorted-merge fallback representation.
+  std::vector<Count> adj_offsets;
+  std::vector<NodeId> adj_list;
+  std::vector<NodeId> merge_full;
+  std::vector<std::vector<NodeId>> merge_stack;
+
+  // Visitor scratch.
+  std::vector<NodeId> emit;            // global ids, root-prefixed
+  std::vector<NodeId> prefix_scratch;  // local ids (FindMinScoreClique)
+  std::vector<NodeId> best_scratch;
+  std::vector<Count> local_scores;
+  std::vector<Count> subtree_counts;   // per-depth clique counters (scoring)
+};
+
 /// Reusable induced-neighborhood clique kernel. Not thread-safe; create one
-/// per thread and rebuild per root — scratch memory is recycled across
-/// builds, so the per-root cost is proportional to the neighborhood, not
-/// the graph.
+/// per thread and rebuild per root — scratch memory lives in a KernelArena
+/// recycled across builds, so the per-root cost is proportional to the
+/// neighborhood touched, not the graph.
 class NeighborhoodKernel {
  public:
   /// Widest bit-matrix row, in 64-bit words; universes larger than
@@ -78,25 +141,39 @@ class NeighborhoodKernel {
   static constexpr NodeId kMaxRowWords = 64;
   static constexpr NodeId kMaxBitmapNodes = kMaxRowWords * 64;
 
-  NeighborhoodKernel() = default;
+  /// Borrows `arena` when given; otherwise owns a private one. A borrowed
+  /// arena must outlive the kernel and may be lent to other kernels of the
+  /// same worker, one build+traversal at a time.
+  explicit NeighborhoodKernel(KernelArena* arena = nullptr)
+      : owned_(arena == nullptr ? std::make_unique<KernelArena>() : nullptr),
+        a_(arena == nullptr ? owned_.get() : arena) {}
 
   /// Universe = out-neighbors of `root` in `dag` (those with non-zero
   /// `valid`, when given). Local id i maps to dag.OutNeighbors(root)[i] in
-  /// ascending node-id order. Returns the universe size s.
+  /// ascending node-id order. Rows are built lazily on first DFS touch;
+  /// `dag` must stay alive and unchanged until the last traversal. Returns
+  /// the universe size s.
   NodeId BuildFromRoot(const Dag& dag, NodeId root,
                        const uint8_t* valid = nullptr);
 
   /// Universe = `subset` (sorted, unique) of the *current* state of `g`,
   /// oriented by position: row j holds adjacent positions i < j, so each
   /// clique is visited exactly once with its highest position as the
-  /// branch head. Returns s = subset.size().
+  /// branch head. Rows are built eagerly (the two-pointer orientation walk
+  /// produces them as a by-product). Returns s = subset.size().
   NodeId BuildFromSubset(const DynamicGraph& g,
                          std::span<const NodeId> subset);
 
   NodeId size() const { return s_; }
   bool has_root() const { return has_root_; }
   bool uses_bitmap() const { return use_bitmap_; }
-  NodeId ToGlobal(NodeId local) const { return local_nodes_[local]; }
+  NodeId ToGlobal(NodeId local) const { return uni_[local]; }
+
+  /// Bit-matrix rows materialized since the last Build* call. In root mode
+  /// this counts lazy builds (each row at most once — the built-bitmap
+  /// guards re-entry); in subset/merge mode every row is built eagerly, so
+  /// it equals size().
+  NodeId rows_built() const { return rows_built_; }
 
   /// Number of q-cliques in the local universe (q = k-1 in root mode: the
   /// root completes each to a k-clique).
@@ -119,14 +196,16 @@ class NeighborhoodKernel {
 
   /// Invoke `cb(nodes)` once per q-clique, where `nodes` spans global ids:
   /// the root first (root mode only), then the members in DFS order. `cb`
-  /// returns false to stop; ForEachClique then returns false.
+  /// returns false to stop; ForEachClique then returns false. Pass
+  /// `eager = true` when `cb` will consume (nearly) the whole enumeration —
+  /// full listings build every row up front; early-stopping searches leave
+  /// rows lazy.
   template <typename F>
-  bool ForEachClique(int q, F&& cb) {
-    emit_.clear();
-    if (has_root_) emit_.push_back(root_);
-    EmitVisitor<std::remove_reference_t<F>> visitor{&emit_,
-                                                    local_nodes_.data(), &cb};
-    return Visit(q, visitor);
+  bool ForEachClique(int q, F&& cb, bool eager = false) {
+    a_->emit.clear();
+    if (has_root_) a_->emit.push_back(root_);
+    EmitVisitor<std::remove_reference_t<F>> visitor{&a_->emit, uni_, &cb};
+    return Visit(q, visitor, eager);
   }
 
  private:
@@ -154,25 +233,232 @@ class NeighborhoodKernel {
 
   void PrepareMap(NodeId num_nodes);
 
-  /// Runs the visitor over every q-clique of the universe. Returns false
-  /// iff a leaf hook aborted the traversal.
-  template <typename V>
-  bool Visit(int q, V& visitor) {
-    if (q <= 0 || s_ < static_cast<NodeId>(q)) return true;
-    if (use_bitmap_) {
-      cand_stack_.resize(static_cast<size_t>(q) * words_);
-      uint64_t* full = cand_stack_.data();
-      for (NodeId w = 0; w < words_; ++w) full[w] = ~uint64_t{0};
-      if ((s_ & 63) != 0) full[words_ - 1] = (uint64_t{1} << (s_ & 63)) - 1;
-      return BitRec(q, full, 0, visitor);
-    }
-    merge_stack_.resize(static_cast<size_t>(q));
-    merge_full_.resize(s_);
-    for (NodeId i = 0; i < s_; ++i) merge_full_[i] = i;
-    return MergeRec(q, merge_full_, 0, visitor);
+  /// Materializes row i (root mode): clears the row words, maps the DAG
+  /// out-neighbors into local-id bits, and replaces the degree upper bound
+  /// with the exact induced out-degree.
+  void MaterializeRow(NodeId i, uint64_t* row);
+
+  /// Row i of the bit matrix, building it on first touch.
+  const uint64_t* RowFor(NodeId i) {
+    uint64_t* row = a_->rows.data() + static_cast<size_t>(i) * words_;
+    if ((a_->row_built[i >> 6] >> (i & 63) & 1) == 0) MaterializeRow(i, row);
+    return row;
   }
 
+  /// Row-structure lifecycle (root/bitmap mode). BuildFromRoot only remaps
+  /// the universe; the first traversal decides how rows come to exist:
+  /// kUnset -> (lazy visit) kLazy: degree upper bounds + empty built-bitmap,
+  ///           rows materialize on first DFS touch;
+  /// kUnset -> (eager visit) kAllBuilt: one bulk pass — matrix memset +
+  ///           tight row fill, no per-row bookkeeping;
+  /// kLazy  -> (eager visit) kAllBuilt once the remaining rows are filled.
+  enum class RowState : uint8_t { kUnset, kLazy, kAllBuilt };
+
+  void PrepareLazyRows();
+  void MaterializeAllRows();
+
+  /// Runs the visitor over every q-clique of the universe. With `eager`,
+  /// all rows are materialized up front (right for exhaustive passes —
+  /// counting/scoring touch almost every row anyway); without it, rows
+  /// build lazily on first touch (right for pruned or early-stopping
+  /// passes — FindMin, first-hit FindOne). Either way, once every row is
+  /// built the recursion switches to a read-only variant whose row/degree
+  /// pointers the compiler can hoist out of the branch loops (the lazy
+  /// variant's potential MaterializeRow call forces reloads). Returns
+  /// false iff a leaf hook aborted the traversal.
   template <typename V>
+  bool Visit(int q, V& visitor, bool eager = false) {
+    if (q <= 0 || s_ < static_cast<NodeId>(q)) return true;
+    if (use_bitmap_) {
+      if (q >= 2) {  // q == 1 is leaf-only: no rows, no degree checks
+        if (eager) {
+          MaterializeAllRows();
+        } else if (row_state_ == RowState::kUnset) {
+          PrepareLazyRows();
+        }
+      }
+      const bool built = row_state_ == RowState::kAllBuilt;
+      if (words_ == 1) {
+        const uint64_t full =
+            s_ == 64 ? ~uint64_t{0} : (uint64_t{1} << s_) - 1;
+        // Fixed-depth dispatch: for the q every workload here uses, make
+        // the level a template parameter — no `remaining` register, each
+        // level's checks constant-folded, levels inlined into each other.
+        switch (q) {
+          case 1: return BitRec1Fixed<false, 1>(full, visitor);
+          case 2:
+            return built ? BitRec1Fixed<false, 2>(full, visitor)
+                         : BitRec1Fixed<true, 2>(full, visitor);
+          case 3:
+            return built ? BitRec1Fixed<false, 3>(full, visitor)
+                         : BitRec1Fixed<true, 3>(full, visitor);
+          case 4:
+            return built ? BitRec1Fixed<false, 4>(full, visitor)
+                         : BitRec1Fixed<true, 4>(full, visitor);
+          case 5:
+            return built ? BitRec1Fixed<false, 5>(full, visitor)
+                         : BitRec1Fixed<true, 5>(full, visitor);
+          case 6:
+            return built ? BitRec1Fixed<false, 6>(full, visitor)
+                         : BitRec1Fixed<true, 6>(full, visitor);
+          case 7:
+            return built ? BitRec1Fixed<false, 7>(full, visitor)
+                         : BitRec1Fixed<true, 7>(full, visitor);
+          case 8:
+            return built ? BitRec1Fixed<false, 8>(full, visitor)
+                         : BitRec1Fixed<true, 8>(full, visitor);
+          default:
+            return built ? BitRec1<false>(q, full, visitor)
+                         : BitRec1<true>(q, full, visitor);
+        }
+      }
+      a_->cand_stack.resize(static_cast<size_t>(q) * words_);
+      uint64_t* full = a_->cand_stack.data();
+      for (NodeId w = 0; w < words_; ++w) full[w] = ~uint64_t{0};
+      if ((s_ & 63) != 0) full[words_ - 1] = (uint64_t{1} << (s_ & 63)) - 1;
+      return built ? BitRec<false>(q, full, 0, visitor)
+                   : BitRec<true>(q, full, 0, visitor);
+    }
+    a_->merge_stack.resize(static_cast<size_t>(q));
+    a_->merge_full.resize(s_);
+    for (NodeId i = 0; i < s_; ++i) a_->merge_full[i] = i;
+    return MergeRec(q, a_->merge_full, 0, visitor);
+  }
+
+  /// Single-word traversal with a compile-time level (the hot shape):
+  /// semantically identical to BitRec1 below with remaining == R.
+  template <bool kLazy, int R, typename V>
+  bool BitRec1Fixed(uint64_t cand, V& visitor) {
+    if constexpr (R == 1) {
+      if (!visitor.LeafCount(static_cast<Count>(std::popcount(cand)))) {
+        return false;
+      }
+      if constexpr (V::kLeafIterates) {
+        for (uint64_t bits = cand; bits != 0; bits &= bits - 1) {
+          if (!visitor.LeafId(static_cast<NodeId>(std::countr_zero(bits)))) {
+            return false;
+          }
+        }
+      }
+      return true;
+    } else {
+      const uint64_t* rows = a_->rows.data();
+      const Count* deg = a_->deg_bound.data();
+      for (uint64_t bits = cand; bits != 0; bits &= bits - 1) {
+        const NodeId i = static_cast<NodeId>(std::countr_zero(bits));
+        if (deg[i] + 1 < static_cast<Count>(R)) continue;
+        if (!visitor.Enter(i)) continue;
+        uint64_t row;
+        if constexpr (kLazy) {
+          row = *RowFor(i);
+        } else {
+          row = rows[i];
+        }
+        const uint64_t next = cand & row;
+        bool keep_going = true;
+        if constexpr (R == 2) {
+          if (next != 0) {
+            keep_going =
+                visitor.LeafCount(static_cast<Count>(std::popcount(next)));
+            if constexpr (V::kLeafIterates) {
+              for (uint64_t lb = next; keep_going && lb != 0; lb &= lb - 1) {
+                keep_going = visitor.LeafId(
+                    static_cast<NodeId>(std::countr_zero(lb)));
+              }
+            }
+          }
+        } else {
+          if (std::popcount(next) + 1 >= R) {
+            keep_going = BitRec1Fixed<kLazy, R - 1>(next, visitor);
+          }
+        }
+        visitor.Exit(i);
+        if (!keep_going) return false;
+      }
+      return true;
+    }
+  }
+
+  /// Single-word specialization (s <= 64, the degeneracy-bounded common
+  /// case): the candidate set lives in a register, intersection is one AND.
+  template <bool kLazy, typename V>
+  bool BitRec1(int remaining, uint64_t cand, V& visitor) {
+    if (remaining == 1) {
+      if (!visitor.LeafCount(static_cast<Count>(std::popcount(cand)))) {
+        return false;
+      }
+      if constexpr (V::kLeafIterates) {
+        for (uint64_t bits = cand; bits != 0; bits &= bits - 1) {
+          if (!visitor.LeafId(static_cast<NodeId>(std::countr_zero(bits)))) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    const uint64_t* rows = a_->rows.data();
+    const Count* deg = a_->deg_bound.data();
+    if (remaining == 2) {
+      // Penultimate level, manually inlined: each surviving branch head i
+      // completes popcount(cand & row_i) cliques — no recursive call. Hook
+      // order and early-stop behavior mirror the generic level exactly.
+      for (uint64_t bits = cand; bits != 0; bits &= bits - 1) {
+        const NodeId i = static_cast<NodeId>(std::countr_zero(bits));
+        if (deg[i] + 1 < 2) continue;
+        // Lazy mode probes the visitor *before* materializing the row:
+        // score-pruned branches (the LP win) never pay for a build. An
+        // entered branch is unwound by Exit either way.
+        if (!visitor.Enter(i)) continue;
+        uint64_t row;
+        if constexpr (kLazy) {
+          row = *RowFor(i);
+        } else {
+          row = rows[i];
+        }
+        const uint64_t next = cand & row;
+        bool keep_going = true;
+        if (next != 0) {
+          keep_going =
+              visitor.LeafCount(static_cast<Count>(std::popcount(next)));
+          if constexpr (V::kLeafIterates) {
+            for (uint64_t lb = next; keep_going && lb != 0; lb &= lb - 1) {
+              keep_going =
+                  visitor.LeafId(static_cast<NodeId>(std::countr_zero(lb)));
+            }
+          }
+        }
+        visitor.Exit(i);
+        if (!keep_going) return false;
+      }
+      return true;
+    }
+    for (uint64_t bits = cand; bits != 0; bits &= bits - 1) {
+      const NodeId i = static_cast<NodeId>(std::countr_zero(bits));
+      // Degree prune. In lazy mode the bound may over-admit until the row
+      // is built; over-admitted branches die at the candidate-count check
+      // below without emitting anything, so results never change. The
+      // visitor probe runs before the row build so score-pruned branches
+      // never materialize anything.
+      if (deg[i] + 1 < static_cast<Count>(remaining)) continue;
+      if (!visitor.Enter(i)) continue;
+      uint64_t row;
+      if constexpr (kLazy) {
+        row = *RowFor(i);
+      } else {
+        row = rows[i];
+      }
+      const uint64_t next = cand & row;
+      bool keep_going = true;
+      if (std::popcount(next) + 1 >= remaining) {
+        keep_going = BitRec1<kLazy>(remaining - 1, next, visitor);
+      }
+      visitor.Exit(i);
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  template <bool kLazy, typename V>
   bool BitRec(int remaining, const uint64_t* cand, int depth, V& visitor) {
     if (remaining == 1) {
       Count n = 0;
@@ -191,16 +477,23 @@ class NeighborhoodKernel {
       }
       return true;
     }
-    uint64_t* next =
-        cand_stack_.data() + static_cast<size_t>(depth + 1) * words_;
     for (NodeId w = 0; w < words_; ++w) {
       uint64_t bits = cand[w];
       while (bits != 0) {
         const NodeId i = w * 64 + static_cast<NodeId>(std::countr_zero(bits));
         bits &= bits - 1;
-        if (local_deg_[i] + 1 < static_cast<Count>(remaining)) continue;
+        if (a_->deg_bound[i] + 1 < static_cast<Count>(remaining)) continue;
         if (!visitor.Enter(i)) continue;
-        const uint64_t* row = rows_.data() + static_cast<size_t>(i) * words_;
+        const uint64_t* row;
+        if constexpr (kLazy) {
+          row = RowFor(i);
+        } else {
+          row = a_->rows.data() + static_cast<size_t>(i) * words_;
+        }
+        // cand may alias cand_stack: resolve `next` after RowFor, which
+        // never touches the stack.
+        uint64_t* next =
+            a_->cand_stack.data() + static_cast<size_t>(depth + 1) * words_;
         Count n = 0;
         for (NodeId x = 0; x < words_; ++x) {
           next[x] = cand[x] & row[x];
@@ -208,7 +501,7 @@ class NeighborhoodKernel {
         }
         bool keep_going = true;
         if (n + 1 >= static_cast<Count>(remaining)) {
-          keep_going = BitRec(remaining - 1, next, depth + 1, visitor);
+          keep_going = BitRec<kLazy>(remaining - 1, next, depth + 1, visitor);
         }
         visitor.Exit(i);
         if (!keep_going) return false;
@@ -230,9 +523,9 @@ class NeighborhoodKernel {
       return true;
     }
     for (NodeId i : cand) {
-      if (local_deg_[i] + 1 < static_cast<Count>(remaining)) continue;
+      if (a_->deg_bound[i] + 1 < static_cast<Count>(remaining)) continue;
       if (!visitor.Enter(i)) continue;
-      auto& next = merge_stack_[depth];
+      auto& next = a_->merge_stack[depth];
       IntersectSorted(cand, LocalNeighbors(i), &next);
       bool keep_going = true;
       if (next.size() + 1 >= static_cast<size_t>(remaining)) {
@@ -245,36 +538,25 @@ class NeighborhoodKernel {
   }
 
   std::span<const NodeId> LocalNeighbors(NodeId i) const {
-    return {adj_list_.data() + adj_offsets_[i],
-            adj_list_.data() + adj_offsets_[i + 1]};
+    return {a_->adj_list.data() + a_->adj_offsets[i],
+            a_->adj_list.data() + a_->adj_offsets[i + 1]};
   }
 
-  // Universe.
+  std::unique_ptr<KernelArena> owned_;  // null when borrowing
+  KernelArena* a_;
+
+  // Universe. `uni_` (local id -> global id, ascending) points into the
+  // DAG's own out-list for unfiltered root builds — zero copies — and into
+  // the arena's buffer for filtered/subset builds.
+  const NodeId* uni_ = nullptr;
   NodeId s_ = 0;
   NodeId root_ = 0;
   bool has_root_ = false;
   bool use_bitmap_ = true;
-  std::vector<NodeId> local_nodes_;  // local id -> global id, ascending
-  std::vector<NodeId> local_of_;     // global id -> local id (root mode)
-  std::vector<NodeId> map_entries_;  // global ids currently set in local_of_
-  std::vector<Count> local_deg_;     // induced out-degree per local id
-
-  // Bitmap representation.
+  RowState row_state_ = RowState::kUnset;
+  const Dag* dag_ = nullptr;  // lazy row source (root mode)
   NodeId words_ = 0;
-  std::vector<uint64_t> rows_;        // s_ rows of words_ words
-  std::vector<uint64_t> cand_stack_;  // one candidate bitmap per depth
-
-  // Sorted-merge fallback representation.
-  std::vector<Count> adj_offsets_;
-  std::vector<NodeId> adj_list_;
-  std::vector<NodeId> merge_full_;
-  std::vector<std::vector<NodeId>> merge_stack_;
-
-  // Visitor scratch.
-  std::vector<NodeId> emit_;        // global ids, root-prefixed in root mode
-  std::vector<NodeId> prefix_scratch_;  // local ids (FindMinScoreClique)
-  std::vector<NodeId> best_scratch_;
-  std::vector<Count> local_scores_;
+  NodeId rows_built_ = 0;
 };
 
 /// Shared parallel driver for per-root passes: iterate roots 0..n-1,
@@ -282,11 +564,16 @@ class NeighborhoodKernel {
 /// `make_state` builds one worker-private state (e.g. a kernel plus local
 /// accumulators), `per_root(u, &state)` must be callable concurrently on
 /// distinct states, and `merge(&state)` runs under a lock (or inline when
-/// serial). Returns false iff the deadline expired before completion.
+/// serial). Merge order is unspecified — use this driver only for
+/// commutative or order-insensitive reductions (sums, per-node score adds,
+/// heap fills keyed by a unique total order); order-sensitive passes build
+/// their own chunk-indexed reduction (see ListKCliques). Returns false iff
+/// the deadline expired before completion.
 template <typename MakeState, typename PerRoot, typename Merge>
 bool DriveRoots(NodeId n, ThreadPool* pool, const Deadline& deadline,
                 MakeState make_state, PerRoot per_root, Merge merge) {
-  if (pool == nullptr || pool->num_threads() <= 1 || n < 1024) {
+  const size_t workers = pool == nullptr ? 0 : pool->num_threads();
+  if (workers <= 1 || n < static_cast<NodeId>(2 * workers)) {
     auto state = make_state();
     for (NodeId u = 0; u < n; ++u) {
       if ((u & 0xFF) == 0 && deadline.Expired()) return false;
@@ -298,19 +585,21 @@ bool DriveRoots(NodeId n, ThreadPool* pool, const Deadline& deadline,
   std::atomic<NodeId> cursor{0};
   std::atomic<bool> expired{false};
   std::mutex merge_mu;
-  const size_t workers = pool->num_threads();
+  // Chunks shrink with n so small graphs still interleave across workers
+  // (clique workloads are skewed; dynamic scheduling smooths them out).
+  const NodeId chunk = std::max<NodeId>(
+      1, std::min<NodeId>(256, n / static_cast<NodeId>(workers * 4)));
   for (size_t w = 0; w < workers; ++w) {
     pool->Submit([&] {
       auto state = make_state();
-      constexpr NodeId kChunk = 256;
       for (;;) {
-        const NodeId begin = cursor.fetch_add(kChunk);
+        const NodeId begin = cursor.fetch_add(chunk);
         if (begin >= n || expired.load(std::memory_order_relaxed)) break;
         if (deadline.Expired()) {
           expired.store(true, std::memory_order_relaxed);
           break;
         }
-        const NodeId end = std::min<NodeId>(n, begin + kChunk);
+        const NodeId end = std::min<NodeId>(n, begin + chunk);
         for (NodeId u = begin; u < end; ++u) per_root(u, &state);
       }
       std::lock_guard<std::mutex> lock(merge_mu);

@@ -25,36 +25,15 @@ StatusOr<SolveResult> SolveGc(const Graph& g, const GcOptions& options) {
   SolveResult result(options.k);
 
   // Line 2: store all k-cliques and compute node scores. One enumeration
-  // pass fills both; the store is the memory hazard the budget guards.
+  // pass fills both (pool-parallel with a deterministic ordered reduction);
+  // the store is the memory hazard the budget guards.
   Dag dag(g, DegeneracyOrdering(g));
   CliqueStore all(options.k);
   std::vector<Count> node_scores(g.num_nodes(), 0);
   {
-    KCliqueEnumerator enumerator(dag, options.k);
-    Count since_check = 0;
-    bool budget_blown = false;
-    bool oot = false;
-    enumerator.ForEach([&](std::span<const NodeId> nodes) {
-      all.Add(nodes);
-      for (NodeId u : nodes) ++node_scores[u];
-      if ((++since_check & 0xFFF) == 0) {
-        if (!memory.Charge(0x1000 * static_cast<int64_t>(options.k) *
-                           static_cast<int64_t>(sizeof(NodeId)))) {
-          budget_blown = true;
-          return false;
-        }
-        if (deadline.Expired()) {
-          oot = true;
-          return false;
-        }
-      }
-      return true;
-    });
-    if (budget_blown) {
-      return Status::MemoryBudgetExceeded(
-          "GC clique store after " + std::to_string(all.size()) + " cliques");
-    }
-    if (oot) return Status::TimeBudgetExceeded("GC clique enumeration");
+    const Status listed = ListKCliques(dag, options.k, options.pool, deadline,
+                                       &memory, "GC", &all, &node_scores);
+    if (!listed.ok()) return listed;
   }
   result.stats.cliques_listed = all.size();
 

@@ -18,6 +18,10 @@ namespace dkc {
 struct GcOptions {
   int k = 3;
   Budget budget;
+  /// Optional pool for the enumeration pass (line 2). The stored clique
+  /// order — and therefore the (score, id) selection order and the final
+  /// solution — is byte-identical at any thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Runs Algorithm 2 on `g`. Returns MemoryBudgetExceeded (OOM) if storing

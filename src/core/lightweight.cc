@@ -1,6 +1,7 @@
 #include "core/lightweight.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -24,8 +25,14 @@ namespace {
 class MinCliqueFinder {
  public:
   MinCliqueFinder(const Dag& dag, const std::vector<uint8_t>& valid,
-                  const std::vector<Count>& node_scores, int k, bool prune)
-      : dag_(dag), valid_(valid), scores_(node_scores), k_(k), prune_(prune) {
+                  const std::vector<Count>& node_scores, int k, bool prune,
+                  KernelArena* arena = nullptr)
+      : dag_(dag),
+        valid_(valid),
+        scores_(node_scores),
+        k_(k),
+        prune_(prune),
+        kernel_(arena) {
     rest_.reserve(static_cast<size_t>(k));
   }
 
@@ -104,6 +111,10 @@ StatusOr<SolveResult> SolveLightweight(const Graph& g,
   {
     std::vector<HeapEntry> initial;
     struct State {
+      // Heap-owned arena: its address is stable across State moves, so the
+      // finder's kernel can borrow it (one arena per DriveRoots worker,
+      // reused across every root the worker drives).
+      std::unique_ptr<KernelArena> arena;
       MinCliqueFinder finder;
       std::vector<NodeId> clique;
       Count clique_score = 0;
@@ -112,8 +123,11 @@ StatusOr<SolveResult> SolveLightweight(const Graph& g,
     const bool completed = DriveRoots(
         g.num_nodes(), options.pool, deadline,
         [&] {
-          return State{MinCliqueFinder(dag, valid, scores.per_node, options.k,
-                                       options.enable_score_pruning),
+          auto arena = std::make_unique<KernelArena>();
+          KernelArena* raw = arena.get();
+          return State{std::move(arena),
+                       MinCliqueFinder(dag, valid, scores.per_node, options.k,
+                                       options.enable_score_pruning, raw),
                        {},
                        0,
                        {}};

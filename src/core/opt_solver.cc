@@ -1,5 +1,8 @@
 #include "core/opt_solver.h"
 
+#include <span>
+#include <vector>
+
 #include "clique/clique_graph.h"
 #include "clique/kclique.h"
 #include "graph/dag.h"
@@ -21,37 +24,20 @@ StatusOr<SolveResult> SolveOpt(const Graph& g, const OptOptions& options) {
   Timer timer;
   SolveResult result(options.k);
 
-  // Step 1: all k-cliques, materialized.
+  // Step 1: all k-cliques, materialized (pool-parallel with a deterministic
+  // ordered reduction, so clique ids match the serial enumeration exactly).
   Dag dag(g, DegeneracyOrdering(g));
   CliqueStore all(options.k);
   {
-    KCliqueEnumerator enumerator(dag, options.k);
-    Count since_check = 0;
-    bool budget_blown = false;
-    bool oot = false;
-    enumerator.ForEach([&](std::span<const NodeId> nodes) {
-      all.Add(nodes);
-      if ((++since_check & 0xFFF) == 0) {
-        if (!memory.Charge(0x1000 * static_cast<int64_t>(options.k) *
-                           static_cast<int64_t>(sizeof(NodeId)))) {
-          budget_blown = true;
-          return false;
-        }
-        if (deadline.Expired()) {
-          oot = true;
-          return false;
-        }
-      }
-      return true;
-    });
-    if (budget_blown) return Status::MemoryBudgetExceeded("OPT clique store");
-    if (oot) return Status::TimeBudgetExceeded("OPT clique enumeration");
+    const Status listed = ListKCliques(dag, options.k, options.pool, deadline,
+                                       &memory, "OPT", &all);
+    if (!listed.ok()) return listed;
   }
   result.stats.cliques_listed = all.size();
 
   // Step 2: the clique graph — the structure whose size explodes (Table I).
-  auto clique_graph =
-      CliqueGraph::Build(all, g.num_nodes(), &memory, deadline);
+  auto clique_graph = CliqueGraph::Build(all, g.num_nodes(), &memory, deadline,
+                                         options.pool);
   if (!clique_graph.ok()) return clique_graph.status();
   result.stats.init_ms = timer.ElapsedMillis();
   timer.Restart();
@@ -61,17 +47,39 @@ StatusOr<SolveResult> SolveOpt(const Graph& g, const OptOptions& options) {
   // most floor(participating / k) — a bound the generic clique-cover bound
   // inside the MIS search cannot see, and often the exact optimum on
   // clique-rich graphs (where proving optimality otherwise dominates the
-  // runtime).
+  // runtime). The same bound is evaluated per clique-graph component
+  // (participating nodes *of that component's cliques* / k), which is what
+  // lets the component solves run independently — and hence in parallel —
+  // without the serial bound-tightening chain.
+  std::vector<uint8_t> in_clique(g.num_nodes(), 0);
   uint32_t participating = 0;
-  {
-    std::vector<uint8_t> in_clique(g.num_nodes(), 0);
-    for (CliqueId c = 0; c < all.size(); ++c) {
-      for (NodeId u : all.Get(c)) in_clique[u] = 1;
-    }
-    for (NodeId u = 0; u < g.num_nodes(); ++u) participating += in_clique[u];
+  for (CliqueId c = 0; c < all.size(); ++c) {
+    for (NodeId u : all.Get(c)) in_clique[u] = 1;
   }
-  const uint32_t packing_bound = participating / static_cast<uint32_t>(options.k);
-  auto mis = ExactMis(clique_graph->adjacency(), deadline, packing_bound);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) participating += in_clique[u];
+  ExactMisParams mis_params;
+  mis_params.deadline = deadline;
+  mis_params.upper_bound = participating / static_cast<uint32_t>(options.k);
+  mis_params.max_branch_nodes = options.max_mis_branch_nodes;
+  mis_params.pool = options.pool;
+  std::vector<NodeId> touched;
+  mis_params.component_bound =
+      [&](std::span<const uint32_t> cliques) -> uint32_t {
+    touched.clear();
+    uint32_t count = 0;
+    for (uint32_t c : cliques) {
+      for (NodeId u : all.Get(static_cast<CliqueId>(c))) {
+        if (in_clique[u]) {
+          in_clique[u] = 0;  // count each participating node once
+          touched.push_back(u);
+          ++count;
+        }
+      }
+    }
+    for (NodeId u : touched) in_clique[u] = 1;
+    return count / static_cast<uint32_t>(options.k);
+  };
+  auto mis = ExactMis(clique_graph->adjacency(), mis_params);
   if (!mis.ok()) return mis.status();
   for (uint32_t c : mis->vertices) {
     result.set.Add(all.Get(static_cast<CliqueId>(c)));

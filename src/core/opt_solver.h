@@ -16,6 +16,14 @@ namespace dkc {
 struct OptOptions {
   int k = 3;
   Budget budget;
+  /// Optional pool: parallel clique enumeration (deterministic ordered
+  /// reduction), parallel clique-graph dedup, and parallel per-component
+  /// exact-MIS solves. The solution is byte-identical at any thread count.
+  ThreadPool* pool = nullptr;
+  /// Cap on exact-MIS branch nodes; 0 = unlimited. Unlike the wall-clock
+  /// budget, exceeding it aborts *deterministically* (same instances abort
+  /// at every thread count) — what a differential harness needs.
+  uint64_t max_mis_branch_nodes = 0;
 };
 
 /// Exact maximum disjoint k-clique set. OOT/OOM via Status on budget

@@ -40,12 +40,14 @@ StatusOr<SolveResult> Solve(const Graph& g, const SolverOptions& options) {
       BasicOptions basic;
       basic.k = options.k;
       basic.budget = options.budget;
+      basic.pool = options.pool;
       return SolveBasic(g, basic);
     }
     case Method::kGC: {
       GcOptions gc;
       gc.k = options.k;
       gc.budget = options.budget;
+      gc.pool = options.pool;
       return SolveGc(g, gc);
     }
     case Method::kL:
@@ -61,6 +63,7 @@ StatusOr<SolveResult> Solve(const Graph& g, const SolverOptions& options) {
       OptOptions opt;
       opt.k = options.k;
       opt.budget = options.budget;
+      opt.pool = options.pool;
       return SolveOpt(g, opt);
     }
   }

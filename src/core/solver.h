@@ -30,7 +30,12 @@ struct SolverOptions {
   int k = 3;
   Method method = Method::kLP;
   Budget budget;
-  ThreadPool* pool = nullptr;  // honored by L/LP scoring & heap init
+  /// Honored by every method: L/LP scoring + heap init, HG's FindOne
+  /// sweep, GC/OPT clique enumeration, OPT's clique-graph dedup and
+  /// per-component exact-MIS solves. Solutions are byte-identical at any
+  /// thread count (each parallel pass ends in a deterministic ordered
+  /// reduction or an order-insensitive one).
+  ThreadPool* pool = nullptr;
 };
 
 /// Compute a disjoint k-clique set of `g` with the selected method.

@@ -1,6 +1,7 @@
 #include "dynamic/candidate_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <mutex>
 
@@ -121,7 +122,8 @@ uint32_t SolutionState::RegisterCandidate(std::span<const NodeId> nodes,
 }
 
 void SolutionState::EnumerateCandidatesFor(
-    uint32_t slot, std::vector<std::vector<NodeId>>* out) const {
+    uint32_t slot, std::vector<std::vector<NodeId>>* out,
+    NeighborhoodKernel* kernel) const {
   out->clear();
   const SolClique& clique = cliques_[slot];
   // B = C ∪ N_F(C): the clique's nodes plus their free neighbors. Any
@@ -155,7 +157,8 @@ void SolutionState::EnumerateCandidatesFor(
           out->emplace_back(nodes.begin(), nodes.end());
         }
         return true;
-      });
+      },
+      kernel);
 }
 
 size_t SolutionState::RebuildCandidatesFor(uint32_t slot) {
@@ -167,7 +170,7 @@ size_t SolutionState::RebuildCandidatesFor(uint32_t slot) {
   clique.cands.clear();
 
   std::vector<std::vector<NodeId>> found;
-  EnumerateCandidatesFor(slot, &found);
+  EnumerateCandidatesFor(slot, &found, &subset_kernel_);
   for (const auto& nodes : found) RegisterCandidate(nodes, slot);
   return found.size();
 }
@@ -178,10 +181,23 @@ void SolutionState::RebuildAllCandidates(ThreadPool* pool) {
 
   if (pool != nullptr && pool->num_threads() > 1 && slots.size() >= 64) {
     // Enumeration is read-only w.r.t. the index; registration is serial.
+    // Each worker drives its share of slots through a private kernel
+    // (arena reused across slots) — the shared subset_kernel_ is only for
+    // the serial per-update path.
     std::vector<std::vector<std::vector<NodeId>>> found(slots.size());
-    pool->ParallelFor(slots.size(), [&](size_t i) {
-      EnumerateCandidatesFor(slots[i], &found[i]);
-    });
+    const size_t workers = pool->num_threads();
+    std::atomic<size_t> cursor{0};
+    for (size_t w = 0; w < workers; ++w) {
+      pool->Submit([&] {
+        NeighborhoodKernel kernel;
+        for (;;) {
+          const size_t i = cursor.fetch_add(1);
+          if (i >= slots.size()) break;
+          EnumerateCandidatesFor(slots[i], &found[i], &kernel);
+        }
+      });
+    }
+    pool->Wait();
     for (size_t i = 0; i < slots.size(); ++i) {
       for (const auto& nodes : found[i]) RegisterCandidate(nodes, slots[i]);
     }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "clique/clique_store.h"
+#include "clique/neighborhood.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "util/thread_pool.h"
@@ -142,13 +143,21 @@ class SolutionState {
   void KillCandidate(uint32_t idx);
   uint32_t RegisterCandidate(std::span<const NodeId> nodes, uint32_t owner);
   // Enumerates valid candidates for `slot` into `out` without mutating the
-  // index (used by the parallel whole-solution rebuild).
+  // index, driving the subset DFS through `kernel` (callers on the serial
+  // per-update path pass `&subset_kernel_`; the parallel whole-solution
+  // rebuild passes worker-private kernels).
   void EnumerateCandidatesFor(uint32_t slot,
-                              std::vector<std::vector<NodeId>>* out) const;
+                              std::vector<std::vector<NodeId>>* out,
+                              NeighborhoodKernel* kernel) const;
 
   DynamicGraph graph_;
   int k_;
   std::vector<Count> node_scores_;
+
+  // Persistent subset-enumeration kernel: every dynamic update runs
+  // Algorithm 5 on a tiny subset B, and reusing one kernel (arena) across
+  // updates makes those enumerations allocation-free in steady state.
+  mutable NeighborhoodKernel subset_kernel_;
 
   std::vector<SolClique> cliques_;
   std::vector<uint32_t> clique_free_slots_;

@@ -314,5 +314,67 @@ TEST(ExactMisTest, AtLeastAsGoodAsGreedy) {
   }
 }
 
+TEST(ExactMisTest, FreeVertexListAvoidsQuadraticScans) {
+  // Regression for the free-vertex list (before it, pivot selection and
+  // every reduction pass scanned all n vertices per branch node): a long
+  // pendant path welded to a small hard core. The path reduces away at the
+  // root, after which every branch node must touch only the ~core-sized
+  // free list — under the old full scans free_scan_steps would be about
+  // branch_nodes * n, orders of magnitude above the bound asserted here.
+  constexpr uint32_t kPath = 8000;  // even, so MIS(path) = kPath / 2
+  constexpr uint32_t kCore = 20;
+  const Adj core = RandomAdjacency(kCore, 0.3, 123);
+  Adj adj(kPath + kCore);
+  auto add = [&adj](uint32_t u, uint32_t v) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+  for (uint32_t i = 0; i + 1 < kPath; ++i) add(i, i + 1);
+  add(kPath - 1, kPath);  // weld the path's far end onto core vertex 0
+  for (uint32_t u = 0; u < kCore; ++u) {
+    for (uint32_t v : core[u]) {
+      if (v > u) add(kPath + u, kPath + v);
+    }
+  }
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+
+  auto result = ExactMis(adj);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsIndependentSet(adj, result->vertices));
+  // An even pendant path contributes exactly kPath/2 on top of the core
+  // optimum (its optimum avoids the welded endpoint).
+  EXPECT_EQ(result->vertices.size(), kPath / 2 + BruteForceMisSize(core));
+  ASSERT_GE(result->branch_nodes, 1u);
+  // Root-level reduction may legitimately walk the full free list a few
+  // times while the path collapses; after that, scans must be core-sized.
+  const uint64_t n = kPath + kCore;
+  EXPECT_LT(result->free_scan_steps, 10 * n + result->branch_nodes * 500)
+      << "branch_nodes=" << result->branch_nodes
+      << " — per-branch scans look O(n) again";
+}
+
+TEST(ExactMisTest, BranchBudgetAbortsDeterministically) {
+  // The branch budget (unlike a wall-clock deadline) must be a pure
+  // function of the instance: identical runs agree on abort vs success,
+  // and a budget one below the instance's true branch count aborts.
+  Adj adj = RandomAdjacency(60, 0.25, 31);
+  auto full = ExactMis(adj);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GE(full->branch_nodes, 2u);
+
+  ExactMisParams exact_fit;
+  exact_fit.max_branch_nodes = full->branch_nodes;
+  auto fits = ExactMis(adj, exact_fit);
+  ASSERT_TRUE(fits.ok());
+  EXPECT_EQ(fits->vertices, full->vertices);
+
+  ExactMisParams starved;
+  starved.max_branch_nodes = full->branch_nodes - 1;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto aborted = ExactMis(adj, starved);
+    EXPECT_FALSE(aborted.ok()) << "attempt " << attempt;
+  }
+}
+
 }  // namespace
 }  // namespace dkc

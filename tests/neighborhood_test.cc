@@ -305,6 +305,118 @@ TEST(NeighborhoodKernelTest, EnumerationEarlyStops) {
   EXPECT_EQ(seen, 2);
 }
 
+// ------------------------------------------------------- lazy row builds
+TEST(LazyRowTest, RowsBuildAtMostOncePerRoot) {
+  // The built-bitmap must make every row build idempotent: re-traversing
+  // the same build (even with a different visitor mix) must not rebuild,
+  // and the per-build counter can never exceed the universe size.
+  Graph g = testing::RandomGraph(40, 0.35, 1300);
+  Dag dag(g, DegeneracyOrdering(g));
+  std::vector<uint8_t> valid(g.num_nodes(), 1);
+  NeighborhoodKernel kernel;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    kernel.BuildFromRoot(dag, u, valid.data());
+    EXPECT_EQ(kernel.rows_built(), 0u) << "build must not materialize rows";
+    int hits = 0;
+    kernel.ForEachClique(3, [&](std::span<const NodeId>) {
+      ++hits;
+      return true;
+    });
+    const NodeId after_first = kernel.rows_built();
+    EXPECT_LE(after_first, kernel.size());
+    // A second full traversal touches at least every row the first one
+    // did; the counter must not move — each row was built exactly once.
+    int hits_again = 0;
+    kernel.ForEachClique(3, [&](std::span<const NodeId>) {
+      ++hits_again;
+      return true;
+    });
+    EXPECT_EQ(kernel.rows_built(), after_first) << "u=" << u;
+    EXPECT_EQ(hits, hits_again);
+    if (kernel.size() < 3) continue;  // q > s: traversals never touch rows
+    // An exhaustive counting pass on the same build materializes the rest,
+    // exactly up to the universe size, and is idempotent too.
+    kernel.CountCliques(3);
+    EXPECT_EQ(kernel.rows_built(), kernel.size());
+    kernel.CountCliques(3);
+    EXPECT_EQ(kernel.rows_built(), kernel.size());
+  }
+}
+
+TEST(LazyRowTest, PrunedSearchesBuildFewerRowsThanEager) {
+  // A star of m spokes whose only interconnection is one triangle at the
+  // low-id end: under the identity ordering the hub's universe is all m
+  // spokes, but a first-hit search (HG FindOne) resolves inside the
+  // triangle and must leave the overwhelming majority of rows unbuilt.
+  constexpr NodeId kSpokes = 60;
+  GraphBuilder builder;
+  const NodeId hub = kSpokes;
+  for (NodeId i = 0; i < kSpokes; ++i) builder.AddEdge(i, hub);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  Graph g = builder.Build();
+  Dag dag(g, IdentityOrdering(g.num_nodes()));
+  NeighborhoodKernel kernel;
+  kernel.BuildFromRoot(dag, hub);
+  ASSERT_EQ(kernel.size(), kSpokes);
+  bool found = false;
+  kernel.ForEachClique(3, [&](std::span<const NodeId> nodes) {
+    EXPECT_EQ(nodes.size(), 4u);
+    found = true;
+    return false;  // first hit wins, as in Algorithm 1's FindOne
+  });
+  EXPECT_TRUE(found);
+  // Eager would have materialized all kSpokes rows; the lazy first-hit
+  // search needs only the prefix up to the triangle.
+  EXPECT_LT(kernel.rows_built(), kernel.size() / 4);
+  EXPECT_GT(kernel.rows_built(), 0u);
+
+  // Even driven to exhaustion the lazy traversal stays cheap — the degree
+  // upper bound keeps the leaf-degree spokes rowless — yet finds exactly
+  // the planted clique; the eager counting pass is what builds the rest.
+  Count total = 0;
+  kernel.ForEachClique(3, [&](std::span<const NodeId>) {
+    ++total;
+    return true;
+  });
+  EXPECT_EQ(total, 1u);  // exactly the one planted 4-clique
+  EXPECT_LT(kernel.rows_built(), kernel.size() / 4);
+  EXPECT_EQ(kernel.CountCliques(3), 1u);
+  EXPECT_EQ(kernel.rows_built(), kernel.size());
+}
+
+TEST(LazyRowTest, FindMinScoreCliqueMatchesAcrossRowModes) {
+  // FindMin materializes rows for its greedy seed pass; interleave it with
+  // lazy enumeration on the same kernel object across roots to shake out
+  // stale row/degree state between modes.
+  Graph g = testing::RandomGraph(34, 0.4, 1400);
+  Dag dag(g, DegeneracyOrdering(g));
+  Rng rng(1500);
+  std::vector<uint8_t> valid(g.num_nodes(), 1);
+  std::vector<Count> scores(g.num_nodes(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) scores[u] = rng.NextBounded(4);
+  NeighborhoodKernel reused;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    NeighborhoodKernel fresh;
+    std::vector<NodeId> got_reused, got_fresh;
+    Count score_reused = 0, score_fresh = 0;
+    reused.BuildFromRoot(dag, u, valid.data());
+    // Lazy enumeration first so some rows pre-exist when FindMin runs.
+    reused.ForEachClique(2, [&](std::span<const NodeId>) { return false; });
+    const bool found_reused = reused.FindMinScoreClique(
+        3, scores, scores[u], true, &got_reused, &score_reused);
+    fresh.BuildFromRoot(dag, u, valid.data());
+    const bool found_fresh = fresh.FindMinScoreClique(
+        3, scores, scores[u], false, &got_fresh, &score_fresh);
+    ASSERT_EQ(found_reused, found_fresh) << "u=" << u;
+    if (found_fresh) {
+      EXPECT_EQ(got_reused, got_fresh) << "u=" << u;
+      EXPECT_EQ(score_reused, score_fresh);
+    }
+  }
+}
+
 // ---------------------------------------------------- galloping intersect
 TEST(IntersectSkewTest, GallopingMatchesMergeAcrossTheCrossover) {
   // Sweep the size ratio through the kGallopSkew crossover; both code

@@ -1,0 +1,118 @@
+// Thread-sweep differential harness: every static solver (HG, GC, L, LP,
+// OPT) on the same 52 mixed-model instances the randomized differential
+// harness uses, solved serially and across 1/2/4-thread pools, asserting
+// *byte-identical* solutions — same cliques, same order, same node order
+// within each clique — at every thread count.
+//
+// This is the contract the pool plumbing claims: HG's speculative FindOne
+// batches, GC/OPT's ordered enumeration reduction, OPT's per-component
+// exact-MIS solves and L/LP's heap passes must all be deterministic up to
+// the last byte regardless of scheduling. OPT additionally runs under a
+// *branch budget* instead of a wall-clock deadline: whether an instance
+// aborts is then a property of the instance, not of timing, so even the
+// abort outcomes must agree across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/opt_solver.h"
+#include "core/solver.h"
+#include "core/verify.h"
+#include "graph/graph.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace dkc {
+namespace {
+
+std::vector<std::vector<NodeId>> ToVectors(const CliqueStore& set) {
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(set.size());
+  for (CliqueId c = 0; c < set.size(); ++c) {
+    const auto clique = set.Get(c);
+    out.emplace_back(clique.begin(), clique.end());
+  }
+  return out;
+}
+
+// Deterministic OPT abort threshold: large enough that most of the mixed
+// instances solve to optimality, small enough that the planted-partition
+// triangle instances (whose clique-graph MIS is genuinely hard) abort in
+// well under a second. Either outcome must be identical at every thread
+// count.
+constexpr uint64_t kOptBranchBudget = 40000;
+
+TEST(ThreadSweepTest, HeuristicSolutionsAreByteIdenticalAcrossThreadCounts) {
+  constexpr Method kMethods[] = {Method::kHG, Method::kGC, Method::kL,
+                                 Method::kLP};
+  constexpr int kInstances = 52;
+  ThreadPool pool1(1), pool2(2), pool4(4);
+  ThreadPool* pools[] = {&pool1, &pool2, &pool4};
+  for (int case_index = 0; case_index < kInstances; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/7000);
+    const int k = 3 + case_index % 3;
+    for (Method method : kMethods) {
+      SCOPED_TRACE(MethodName(method));
+      SolverOptions options;
+      options.k = k;
+      options.method = method;
+      auto serial = Solve(g, options);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      const auto expected = ToVectors(serial->set);
+      EXPECT_TRUE(VerifySolution(g, serial->set).ok());
+      for (ThreadPool* pool : pools) {
+        SCOPED_TRACE("threads=" + std::to_string(pool->num_threads()));
+        options.pool = pool;
+        auto pooled = Solve(g, options);
+        ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+        // Byte-identical: same cliques, same order, no canonicalization.
+        EXPECT_EQ(ToVectors(pooled->set), expected);
+      }
+      options.pool = nullptr;
+    }
+  }
+}
+
+TEST(ThreadSweepTest, OptOutcomesAreByteIdenticalAcrossThreadCounts) {
+  constexpr int kInstances = 52;
+  ThreadPool pool1(1), pool2(2), pool4(4);
+  ThreadPool* pools[] = {&pool1, &pool2, &pool4};
+  int solved = 0;
+  int aborted = 0;
+  for (int case_index = 0; case_index < kInstances; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/7000);
+    OptOptions options;
+    options.k = 3 + case_index % 3;
+    options.max_mis_branch_nodes = kOptBranchBudget;
+    auto serial = SolveOpt(g, options);
+    if (serial.ok()) {
+      ++solved;
+      EXPECT_TRUE(VerifySolution(g, serial->set).ok());
+    } else {
+      ++aborted;
+    }
+    for (ThreadPool* pool : pools) {
+      SCOPED_TRACE("threads=" + std::to_string(pool->num_threads()));
+      options.pool = pool;
+      auto pooled = SolveOpt(g, options);
+      ASSERT_EQ(pooled.ok(), serial.ok())
+          << (pooled.ok() ? "pooled solved but serial aborted"
+                          : pooled.status().ToString());
+      if (serial.ok()) {
+        EXPECT_EQ(ToVectors(pooled->set), ToVectors(serial->set));
+      }
+    }
+    options.pool = nullptr;
+  }
+  // The budget must actually bite on the hard instances yet leave the bulk
+  // solvable, or the sweep silently degenerates into testing one path.
+  EXPECT_GE(solved, 40) << "branch budget aborts too much of the sweep";
+  EXPECT_GE(aborted, 1) << "branch budget never engaged; raise difficulty";
+}
+
+}  // namespace
+}  // namespace dkc

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -201,6 +202,86 @@ TEST(ThreadPoolTest, SequentialSubmitBatches) {
     pool.Wait();
     EXPECT_EQ(counter.load(), (round + 1) * 20);
   }
+}
+
+TEST(ThreadPoolTest, ParallelForChunkBoundaries) {
+  // ParallelFor goes parallel at count >= 2 * workers and chunks by
+  // count / (workers * 8); sweep counts around those boundaries (and the
+  // chunk-size-1 regime) so off-by-one in the cursor arithmetic would
+  // double-visit or drop an index.
+  ThreadPool pool(4);
+  const size_t workers = pool.num_threads();
+  const size_t counts[] = {1,
+                           workers,
+                           2 * workers - 1,
+                           2 * workers,
+                           2 * workers + 1,
+                           8 * workers - 1,
+                           8 * workers,
+                           8 * workers + 1,
+                           64 * workers + 3};
+  for (size_t count : counts) {
+    SCOPED_TRACE(count);
+    std::vector<std::atomic<int>> hits(count);
+    pool.ParallelFor(count, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSingleIteration) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::atomic<size_t> seen_index{999};
+  pool.ParallelFor(1, [&](size_t i) {
+    counter.fetch_add(1);
+    seen_index.store(i);
+  });
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(seen_index.load(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitWaitInterleaving) {
+  // Wait() must cover tasks submitted *by running tasks*: the child is
+  // enqueued while the parent is still in flight, so in_flight_ never hits
+  // zero between them.
+  ThreadPool pool(3);
+  std::atomic<int> parents{0};
+  std::atomic<int> children{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] {
+      parents.fetch_add(1);
+      pool.Submit([&] { children.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(parents.load(), 50);
+  EXPECT_EQ(children.load(), 50);
+  // Wait on the now-idle pool must return immediately, and the pool must
+  // still accept work afterwards.
+  pool.Wait();
+  std::atomic<int> more{0};
+  pool.Submit([&] { more.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(more.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedWork) {
+  // Destroying the pool with work still queued must run it, not drop it:
+  // the worker loop only exits on shutdown once the queue is empty.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor races the queue.
+  }
+  EXPECT_EQ(counter.load(), 64);
 }
 
 // ---------------------------------------------------------------- Flags

@@ -12,9 +12,13 @@
 //       maximum matching (the k=2 boundary case)
 //
 // All subcommands also accept --ws=n,degree,beta to synthesize a
-// Watts-Strogatz graph instead of --file (handy without datasets).
+// Watts-Strogatz graph instead of --file (handy without datasets), and
+// --threads=n to run the pool-parallel passes (stats counting and every
+// solve method) across n worker threads; solutions are byte-identical at
+// any thread count.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "clique/kclique.h"
@@ -28,6 +32,7 @@
 #include "io/solution_io.h"
 #include "matching/matching.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -36,6 +41,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dkc <stats|solve|verify|cover|match> [flags]\n"
                "  --file=<edge list>  or  --ws=<n>,<degree>,<beta>\n"
+               "  --threads=<n>  worker pool for stats/solve (default 1)\n"
                "  solve:  --k=4 --method=HG|GC|L|LP|OPT [--out=path]\n"
                "  verify: --solution=path\n"
                "  cover:  --k=5 --min-k=3 [--pairs]\n"
@@ -64,17 +70,25 @@ dkc::StatusOr<dkc::Graph> LoadGraph(const dkc::Flags& flags) {
   return dkc::WattsStrogatz(n, degree, beta, rng);
 }
 
+// --threads=n (n >= 2) builds a worker pool; 0/1 stay serial.
+std::unique_ptr<dkc::ThreadPool> MakePool(const dkc::Flags& flags) {
+  const long threads = flags.GetInt("threads", 1);
+  if (threads < 2) return nullptr;
+  return std::make_unique<dkc::ThreadPool>(static_cast<size_t>(threads));
+}
+
 int RunStats(const dkc::Flags& flags, const dkc::Graph& g) {
   std::printf("nodes %u\nedges %llu\nmax-degree %llu\ndegeneracy %llu\n",
               g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
               static_cast<unsigned long long>(g.MaxDegree()),
               static_cast<unsigned long long>(dkc::Degeneracy(g)));
   dkc::Dag dag(g, dkc::DegeneracyOrdering(g));
+  const auto pool = MakePool(flags);
   const int kmin = static_cast<int>(flags.GetInt("kmin", 3));
   const int kmax = static_cast<int>(flags.GetInt("kmax", 6));
   for (int k = kmin; k <= kmax; ++k) {
     dkc::Timer timer;
-    const dkc::Count count = dkc::CountKCliques(dag, k);
+    const dkc::Count count = dkc::CountKCliques(dag, k, pool.get());
     std::printf("%d-cliques %llu (%.1f ms)\n", k,
                 static_cast<unsigned long long>(count),
                 timer.ElapsedMillis());
@@ -93,6 +107,8 @@ int RunSolve(const dkc::Flags& flags, const dkc::Graph& g) {
   options.method = *method;
   options.budget.time_ms = flags.GetDouble("budget-ms", 0);
   options.budget.memory_bytes = flags.GetInt("budget-mb", 0) * (1 << 20);
+  const auto pool = MakePool(flags);
+  options.pool = pool.get();
   auto result = dkc::Solve(g, options);
   if (!result.ok()) {
     std::fprintf(stderr, "solve: %s\n", result.status().ToString().c_str());

@@ -8,14 +8,21 @@
 //
 // W defaults to 1000 (the paper uses 10K at its dataset scale); small
 // datasets automatically clamp to their edge counts.
+//
+// --threads=<n> runs the dynamic engine's pool-parallel paths (initial
+// solve + index build, per-update candidate-rebuild fan-outs, packing
+// sort) across n workers; maintained solutions are byte-identical to the
+// serial run at any thread count.
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
 #include "datasets.h"
 #include "dynamic/dynamic_solver.h"
 #include "dynamic/workload.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -38,11 +45,12 @@ int64_t FromScratchSize(const dkc::Graph& g, int k, double budget_ms) {
 // Applies `ops` on a fresh solver over `start`; fills timing and ΔS.
 UpdateRun Run(const dkc::Graph& start,
               const std::vector<dkc::UpdateOp>& ops, int k,
-              double budget_ms) {
+              double budget_ms, dkc::ThreadPool* pool) {
   UpdateRun run;
   dkc::DynamicOptions options;
   options.k = k;
   options.initial_budget.time_ms = budget_ms;
+  options.pool = pool;
   auto solver = dkc::DynamicSolver::Build(start, options);
   if (!solver.ok()) return run;
   dkc::Timer timer;
@@ -70,6 +78,11 @@ int main(int argc, char** argv) {
   const auto config = dkc::bench::BenchConfig::FromFlags(flags);
   const size_t w = static_cast<size_t>(
       flags.GetInt("updates", config.smoke ? 100 : 1000));
+  const long threads = flags.GetInt("threads", 1);
+  std::unique_ptr<dkc::ThreadPool> pool;
+  if (threads >= 2) {
+    pool = std::make_unique<dkc::ThreadPool>(static_cast<size_t>(threads));
+  }
 
   struct RowResult {
     std::string name;
@@ -95,9 +108,11 @@ int main(int argc, char** argv) {
     RowResult row;
     row.name = spec.name;
     for (int k = config.kmin; k <= config.kmax; ++k) {
-      row.del.push_back(Run(g, deletions, k, config.budget_ms));
-      row.ins.push_back(Run(without, insertions, k, config.budget_ms));
-      row.mix.push_back(Run(mixed.prepared, mixed.ops, k, config.budget_ms));
+      row.del.push_back(Run(g, deletions, k, config.budget_ms, pool.get()));
+      row.ins.push_back(
+          Run(without, insertions, k, config.budget_ms, pool.get()));
+      row.mix.push_back(
+          Run(mixed.prepared, mixed.ops, k, config.budget_ms, pool.get()));
     }
     rows.push_back(std::move(row));
   }
@@ -122,7 +137,8 @@ int main(int argc, char** argv) {
   };
 
   std::printf("## Figure 7: average update time (W=%zu per workload, "
-              "scale=%.2f)\n", w, config.scale);
+              "scale=%.2f, threads=%ld)\n", w, config.scale,
+              threads >= 2 ? threads : 1);
   print_time_table("deletions", &RowResult::del);
   print_time_table("insertions", &RowResult::ins);
   print_time_table("mixed", &RowResult::mix);

@@ -15,14 +15,14 @@ namespace dkc {
 
 struct OptOptions {
   int k = 3;
+  /// budget.max_branch_nodes caps the exact-MIS branch nodes; see Budget.
   Budget budget;
   /// Optional pool: parallel clique enumeration (deterministic ordered
   /// reduction), parallel clique-graph dedup, and parallel per-component
   /// exact-MIS solves. The solution is byte-identical at any thread count.
   ThreadPool* pool = nullptr;
-  /// Cap on exact-MIS branch nodes; 0 = unlimited. Unlike the wall-clock
-  /// budget, exceeding it aborts *deterministically* (same instances abort
-  /// at every thread count) — what a differential harness needs.
+  /// Legacy alias for budget.max_branch_nodes (kept for direct callers);
+  /// when both are set the tighter cap wins.
   uint64_t max_mis_branch_nodes = 0;
 };
 

@@ -52,7 +52,18 @@ StatusOr<ResidualCoverResult> ResidualCover(
     solver_options.budget = options.budget_per_round;
     solver_options.pool = options.pool;
     auto solved = Solve(residual, solver_options);
-    if (!solved.ok()) return solved.status();
+    if (!solved.ok()) {
+      // Budget exhaustion is a surfaced outcome, not a failure: keep the
+      // rounds already packed (they are valid disjoint groups of g) and
+      // report where the cover stopped. Anything else propagates.
+      if (solved.status().IsTimeBudgetExceeded() ||
+          solved.status().IsMemoryBudgetExceeded()) {
+        result.aborted = true;
+        result.aborted_round_k = k;
+        return result;
+      }
+      return solved.status();
+    }
 
     for (CliqueId c = 0; c < solved->set.size(); ++c) {
       CoverGroup group;

@@ -22,6 +22,11 @@ struct ResidualCoverOptions {
   int min_k = 3;                    // last clique round
   bool pair_round = false;          // finish with maximum matching (k = 2)
   Method method = Method::kLP;
+  /// Applied to every round's solve. time_ms / memory_bytes give the
+  /// classical OOT/OOM behavior; max_branch_nodes additionally lets OPT
+  /// rounds abort *deterministically* (same rounds abort at every thread
+  /// count). A round that exhausts the budget does not fail the cover:
+  /// the groups packed so far are kept and the result is marked aborted.
   Budget budget_per_round;
   ThreadPool* pool = nullptr;
 };
@@ -36,6 +41,12 @@ struct ResidualCoverResult {
   /// covered[u] == true iff u landed in some group.
   std::vector<bool> covered;
   Count covered_nodes = 0;
+  /// True when a round exhausted options.budget_per_round: that round and
+  /// every later one were skipped, and `groups` holds the (still valid,
+  /// pairwise disjoint) partial cover assembled before the abort.
+  bool aborted = false;
+  /// Clique size of the round that hit the budget (0 when !aborted).
+  int aborted_round_k = 0;
 
   double coverage(NodeId n) const {
     return n == 0 ? 0.0 : static_cast<double>(covered_nodes) / n;

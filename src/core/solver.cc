@@ -62,7 +62,7 @@ StatusOr<SolveResult> Solve(const Graph& g, const SolverOptions& options) {
     case Method::kOPT: {
       OptOptions opt;
       opt.k = options.k;
-      opt.budget = options.budget;
+      opt.budget = options.budget;  // carries max_branch_nodes (exact MIS)
       opt.pool = options.pool;
       return SolveOpt(g, opt);
     }

@@ -44,6 +44,14 @@ struct SolveResult {
 struct Budget {
   double time_ms = 0.0;
   int64_t memory_bytes = 0;
+  /// Deterministic cap on branch/work nodes; 0 = unlimited. Unlike the
+  /// wall-clock deadline, exceeding it aborts as a property of the instance
+  /// — the same inputs abort (or don't) identically on every run at every
+  /// thread count, which is what differential harnesses need from an abort
+  /// mechanism. Honored by OPT's exact-MIS search and by the dynamic
+  /// engine's per-update maintenance (DynamicOptions::update_budget);
+  /// the polynomial-time heuristics ignore it.
+  uint64_t max_branch_nodes = 0;
 };
 
 }  // namespace dkc

@@ -62,31 +62,34 @@ uint32_t SolutionState::AddSolutionClique(std::span<const NodeId> nodes) {
   for (NodeId u : nodes) {
     assert(node_to_clique_[u] == kNoClique && "node must be free");
     node_to_clique_[u] = slot;
-    // Every candidate through u referenced it as a free node; all are now
-    // invalid (their free/non-free split changed), so they die here. The
-    // per-node list can be cleared outright: all its alive entries die, and
-    // stale ones are garbage anyway.
+    // Every candidate through u referenced it as a free node (a non-free
+    // member would have put u in a solution clique); all are now invalid —
+    // their free/non-free split changed, or they now straddle two solution
+    // cliques — so they die here, *whichever clique owns them*. This kill
+    // is what keeps consuming free nodes (direct adds and swap commits
+    // alike) from leaving stale candidates behind in other cliques' sets.
+    // The per-node list can be cleared outright: all its alive entries die,
+    // and stale ones are garbage anyway.
     for (CandRef ref : node_cands_[u]) {
       if (CandValid(ref)) KillCandidate(ref.idx);
     }
+    node_cand_refs_ -= node_cands_[u].size();
     node_cands_[u].clear();
   }
   ++solution_size_;
+  MaybeCompactNodeCands();
   return slot;
 }
 
 void SolutionState::RemoveSolutionClique(uint32_t slot) {
-  assert(SlotAlive(slot));
+  KillOwnedCandidates(slot);
   SolClique& clique = cliques_[slot];
-  for (CandRef ref : clique.cands) {
-    if (CandValid(ref)) KillCandidate(ref.idx);
-  }
-  clique.cands.clear();
   for (NodeId u : clique.nodes) node_to_clique_[u] = kNoClique;
   clique.alive = false;
   clique.nodes.clear();
   clique_free_slots_.push_back(slot);
   --solution_size_;
+  MaybeCompactNodeCands();
 }
 
 void SolutionState::KillCandidate(uint32_t idx) {
@@ -117,8 +120,25 @@ uint32_t SolutionState::RegisterCandidate(std::span<const NodeId> nodes,
   const CandRef ref{idx, cand.gen};
   cliques_[owner].cands.push_back(ref);
   for (NodeId u : nodes) node_cands_[u].push_back(ref);
+  node_cand_refs_ += nodes.size();
   ++alive_candidates_;
   return idx;
+}
+
+void SolutionState::MaybeCompactNodeCands() {
+  const size_t alive_refs =
+      static_cast<size_t>(alive_candidates_) * static_cast<size_t>(k_);
+  if (node_cand_refs_ <= 2 * alive_refs + node_cands_.size() + 64) return;
+  size_t total = 0;
+  for (auto& list : node_cands_) {
+    size_t write = 0;
+    for (const CandRef ref : list) {
+      if (CandValid(ref)) list[write++] = ref;  // alive order preserved
+    }
+    list.resize(write);
+    total += write;
+  }
+  node_cand_refs_ = total;
 }
 
 void SolutionState::EnumerateCandidatesFor(
@@ -162,48 +182,86 @@ void SolutionState::EnumerateCandidatesFor(
 }
 
 size_t SolutionState::RebuildCandidatesFor(uint32_t slot) {
+  return RebuildCandidatesFor(slot, kInvalidNode, kInvalidNode).candidates;
+}
+
+void SolutionState::KillOwnedCandidates(uint32_t slot) {
   assert(SlotAlive(slot));
   SolClique& clique = cliques_[slot];
   for (CandRef ref : clique.cands) {
     if (CandValid(ref)) KillCandidate(ref.idx);
   }
   clique.cands.clear();
+}
 
+SolutionState::RebuildOutcome SolutionState::RebuildCandidatesFor(
+    uint32_t slot, NodeId u, NodeId v) {
+  KillOwnedCandidates(slot);
+
+  RebuildOutcome outcome;
   std::vector<std::vector<NodeId>> found;
   EnumerateCandidatesFor(slot, &found, &subset_kernel_);
-  for (const auto& nodes : found) RegisterCandidate(nodes, slot);
-  return found.size();
+  for (const auto& nodes : found) {
+    RegisterCandidate(nodes, slot);
+    if (u != kInvalidNode && !outcome.has_edge) {
+      outcome.has_edge =
+          std::find(nodes.begin(), nodes.end(), u) != nodes.end() &&
+          std::find(nodes.begin(), nodes.end(), v) != nodes.end();
+    }
+  }
+  outcome.candidates = found.size();
+  MaybeCompactNodeCands();
+  return outcome;
+}
+
+// Minimum batch size before a rebuild fans out across the pool. Each
+// fan-out pays one Submit/Wait round trip plus a worker-private kernel per
+// thread, which swamps the microsecond-scale enumerations of the 2-3-slot
+// batches typical per update — those stay serial. The threshold changes
+// only scheduling, never results (both paths are byte-identical), so it is
+// free to tune on a multi-core host (see ROADMAP).
+constexpr size_t kParallelRebuildMinSlots = 4;
+
+void SolutionState::RebuildCandidatesForMany(std::span<const uint32_t> slots,
+                                             ThreadPool* pool,
+                                             std::vector<size_t>* counts) {
+  if (counts != nullptr) counts->assign(slots.size(), 0);
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      slots.size() < kParallelRebuildMinSlots) {
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const size_t n = RebuildCandidatesFor(slots[i]);
+      if (counts != nullptr) (*counts)[i] = n;
+    }
+    return;
+  }
+  // Enumeration reads only the graph and the free/non-free map — never the
+  // candidate slots — so fanning it out (worker-private kernels, shared
+  // cursor) and registering serially afterwards in `slots` order yields
+  // exactly the serial loop's candidates in exactly its registration
+  // order. The shared subset_kernel_ is only for the serial path.
+  std::vector<std::vector<std::vector<NodeId>>> found(slots.size());
+  std::atomic<size_t> cursor{0};
+  pool->RunPerWorker([&](size_t) {
+    NeighborhoodKernel kernel;
+    for (;;) {
+      const size_t i = cursor.fetch_add(1);
+      if (i >= slots.size()) break;
+      EnumerateCandidatesFor(slots[i], &found[i], &kernel);
+    }
+  });
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const uint32_t slot = slots[i];
+    KillOwnedCandidates(slot);
+    for (const auto& nodes : found[i]) RegisterCandidate(nodes, slot);
+    if (counts != nullptr) (*counts)[i] = found[i].size();
+  }
+  MaybeCompactNodeCands();
 }
 
 void SolutionState::RebuildAllCandidates(ThreadPool* pool) {
   std::vector<uint32_t> slots;
   ForEachSlot([&slots](uint32_t s) { slots.push_back(s); });
-
-  if (pool != nullptr && pool->num_threads() > 1 && slots.size() >= 64) {
-    // Enumeration is read-only w.r.t. the index; registration is serial.
-    // Each worker drives its share of slots through a private kernel
-    // (arena reused across slots) — the shared subset_kernel_ is only for
-    // the serial per-update path.
-    std::vector<std::vector<std::vector<NodeId>>> found(slots.size());
-    const size_t workers = pool->num_threads();
-    std::atomic<size_t> cursor{0};
-    for (size_t w = 0; w < workers; ++w) {
-      pool->Submit([&] {
-        NeighborhoodKernel kernel;
-        for (;;) {
-          const size_t i = cursor.fetch_add(1);
-          if (i >= slots.size()) break;
-          EnumerateCandidatesFor(slots[i], &found[i], &kernel);
-        }
-      });
-    }
-    pool->Wait();
-    for (size_t i = 0; i < slots.size(); ++i) {
-      for (const auto& nodes : found[i]) RegisterCandidate(nodes, slots[i]);
-    }
-  } else {
-    for (uint32_t s : slots) RebuildCandidatesFor(s);
-  }
+  RebuildCandidatesForMany(slots, pool, nullptr);
 }
 
 size_t SolutionState::KillCandidatesWithEdge(NodeId u, NodeId v) {
@@ -222,7 +280,12 @@ size_t SolutionState::KillCandidatesWithEdge(NodeId u, NodeId v) {
     }
     list[write++] = ref;
   }
+  node_cand_refs_ -= list.size() - write;
   list.resize(write);
+  // The kills above went stale in every *other* member node's list; the
+  // bounded compaction keeps a delete-heavy stream from accumulating them
+  // without bound (the satellite-2 regression).
+  MaybeCompactNodeCands();
   return killed;
 }
 
@@ -308,6 +371,31 @@ bool SolutionState::CheckInvariants(std::string* error) const {
   }
   if (alive_cands != alive_candidates_) {
     return fail("alive_candidates_ drifted");
+  }
+  return true;
+}
+
+bool SolutionState::CheckCandidateCompleteness(std::string* error) const {
+  auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  auto canonical = [](std::vector<std::vector<NodeId>> cliques) {
+    for (auto& c : cliques) std::sort(c.begin(), c.end());
+    std::sort(cliques.begin(), cliques.end());
+    return cliques;
+  };
+  NeighborhoodKernel kernel;
+  std::vector<std::vector<NodeId>> expected;
+  for (uint32_t s = 0; s < cliques_.size(); ++s) {
+    if (!cliques_[s].alive) continue;
+    EnumerateCandidatesFor(s, &expected, &kernel);
+    std::vector<std::vector<NodeId>> indexed;
+    for (const auto& view : CandidatesOf(s)) indexed.push_back(view.nodes);
+    if (canonical(expected) != canonical(std::move(indexed))) {
+      return fail("candidate index of slot " + std::to_string(s) +
+                  " disagrees with a fresh Algorithm-5 enumeration");
+    }
   }
   return true;
 }

@@ -89,6 +89,26 @@ class SolutionState {
   /// ones. Returns the number of alive candidates afterwards.
   size_t RebuildCandidatesFor(uint32_t slot);
 
+  /// As above, additionally reporting whether any registered candidate
+  /// contains both `u` and `v` — the new-edge detection InsertEdge's
+  /// one-endpoint-free path needs, answered during registration instead of
+  /// by re-scanning CandidatesOf afterwards.
+  struct RebuildOutcome {
+    size_t candidates = 0;
+    bool has_edge = false;
+  };
+  RebuildOutcome RebuildCandidatesFor(uint32_t slot, NodeId u, NodeId v);
+
+  /// Rebuild several slots (each alive, no duplicates), optionally fanning
+  /// the read-only enumeration across `pool` with worker-private kernels;
+  /// registration stays serial in `slots` order, so candidates, their
+  /// registration order, and hence every downstream tie-break are
+  /// byte-identical to calling RebuildCandidatesFor per slot. Fills
+  /// `counts` (when non-null) with the per-slot candidate counts.
+  void RebuildCandidatesForMany(std::span<const uint32_t> slots,
+                                ThreadPool* pool,
+                                std::vector<size_t>* counts);
+
   /// Algorithm 5 for the whole solution, optionally in parallel.
   void RebuildAllCandidates(ThreadPool* pool = nullptr);
 
@@ -114,8 +134,22 @@ class SolutionState {
   /// Grow per-node structures after the graph gained nodes.
   void EnsureNodeCapacity(NodeId n);
 
+  /// Entries across all per-node candidate lists, alive and stale. Stale
+  /// refs are compacted whenever they outnumber a linear bound (see
+  /// MaybeCompactNodeCands), so this stays O(alive index size + n) over
+  /// arbitrarily long update streams — the memory-growth regression tests
+  /// pin that bound.
+  size_t node_cand_ref_count() const { return node_cand_refs_; }
+
   /// Exhaustive invariant check (tests only; O(index size * k)).
   bool CheckInvariants(std::string* error) const;
+
+  /// Completeness check (tests only, much more expensive than
+  /// CheckInvariants): re-enumerates every alive clique's candidate set
+  /// from scratch and compares it against the maintained index. Catches
+  /// update paths that forget to register — or to kill — a candidate,
+  /// which CheckInvariants (validity of what *is* indexed) cannot see.
+  bool CheckCandidateCompleteness(std::string* error) const;
 
  private:
   struct CandRef {
@@ -141,7 +175,17 @@ class SolutionState {
            candidates_[ref.idx].gen == ref.gen;
   }
   void KillCandidate(uint32_t idx);
+  // Kills every alive candidate of `slot` and clears its cands list — the
+  // shared first half of a rebuild (serial and pooled paths must stay
+  // identical, so there is exactly one implementation).
+  void KillOwnedCandidates(uint32_t slot);
   uint32_t RegisterCandidate(std::span<const NodeId> nodes, uint32_t owner);
+  // Drops dead refs from every per-node list once they outnumber
+  // 2 * alive refs + n + 64 — each compaction removes more entries than it
+  // keeps stale, so list walking stays amortized O(1) per registered ref
+  // while alive refs are never reordered (observable behavior unchanged).
+  // Called at the end of the public mutators (never mid-iteration).
+  void MaybeCompactNodeCands();
   // Enumerates valid candidates for `slot` into `out` without mutating the
   // index, driving the subset DFS through `kernel` (callers on the serial
   // per-update path pass `&subset_kernel_`; the parallel whole-solution
@@ -167,6 +211,7 @@ class SolutionState {
   std::vector<Candidate> candidates_;
   std::vector<uint32_t> cand_free_slots_;
   std::vector<std::vector<CandRef>> node_cands_;
+  size_t node_cand_refs_ = 0;  // total entries across node_cands_ lists
   Count alive_candidates_ = 0;
 };
 

@@ -16,6 +16,7 @@ void Accumulate(SwapStats* into, const SwapStats& delta) {
   into->pops += delta.pops;
   into->commits += delta.commits;
   into->cliques_gained += delta.cliques_gained;
+  into->aborted |= delta.aborted;
 }
 
 // Shared tail of both Build paths: node scores, state seeding, index build.
@@ -55,7 +56,7 @@ StatusOr<DynamicSolver> DynamicSolver::Build(const Graph& g,
 
   auto [state, index_ms] = SeedState(g, initial->set, options);
   stats.index_ms = index_ms;
-  return DynamicSolver(std::move(state), stats);
+  return DynamicSolver(std::move(state), stats, options);
 }
 
 StatusOr<DynamicSolver> DynamicSolver::BuildFromSolution(
@@ -73,7 +74,7 @@ StatusOr<DynamicSolver> DynamicSolver::BuildFromSolution(
   DynamicBuildStats stats;
   auto [state, index_ms] = SeedState(g, solution, options);
   stats.index_ms = index_ms;
-  return DynamicSolver(std::move(state), stats);
+  return DynamicSolver(std::move(state), stats, options);
 }
 
 bool DynamicSolver::FindFreeCliqueWithEdge(NodeId u, NodeId v,
@@ -118,7 +119,8 @@ bool DynamicSolver::FindFreeCliqueWithEdge(NodeId u, NodeId v,
 }
 
 void DynamicSolver::EnqueueOwnersOfNewCandidates(NodeId u, NodeId v,
-                                                 SwapQueue* queue) {
+                                                 SwapQueue* queue,
+                                                 UpdateWork* meter) {
   const int k = state_->k();
   const DynamicGraph& graph = state_->graph();
   std::vector<NodeId> common;
@@ -163,20 +165,37 @@ void DynamicSolver::EnqueueOwnersOfNewCandidates(NodeId u, NodeId v,
 
   std::sort(owners.begin(), owners.end());
   owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
-  for (uint32_t owner : owners) {
-    if (!state_->SlotAlive(owner)) continue;
-    // The rebuild registers the new edge's candidates as a side effect.
-    if (state_->RebuildCandidatesFor(owner) > 0) {
-      queue->push_back(state_->RefOf(owner));
-    }
+  owners.erase(std::remove_if(owners.begin(), owners.end(),
+                              [this](uint32_t owner) {
+                                return !state_->SlotAlive(owner);
+                              }),
+               owners.end());
+  // The rebuilds register the new edge's candidates as a side effect; the
+  // fan-out runs the enumerations across the pool with byte-identical
+  // registration order (see RebuildCandidatesForMany).
+  std::vector<size_t> counts;
+  state_->RebuildCandidatesForMany(owners, pool_, &counts);
+  for (size_t i = 0; i < owners.size(); ++i) {
+    meter->Charge(1 + counts[i]);
+    if (counts[i] > 0) queue->push_back(state_->RefOf(owners[i]));
   }
 }
 
+void DynamicSolver::FinishUpdate(const UpdateWork& meter,
+                                 const SwapStats& swaps) {
+  last_update_.work = meter.work;
+  last_update_.swaps = swaps;
+  aborted_updates_ += swaps.aborted ? 1 : 0;
+  Accumulate(&swap_stats_, swaps);
+}
+
 Status DynamicSolver::InsertEdge(NodeId u, NodeId v) {
+  last_update_ = UpdateStats{};  // an errored call did no work
   if (!state_->graph().InsertEdge(u, v)) {
     return Status::InvalidArgument("edge already present (or u == v)");
   }
   state_->EnsureNodeCapacity(state_->graph().num_nodes());
+  UpdateWork meter = UpdateWork::FromBudget(update_budget_);
 
   const uint32_t cu = state_->CliqueOf(u);
   const uint32_t cv = state_->CliqueOf(v);
@@ -185,69 +204,78 @@ Status DynamicSolver::InsertEdge(NodeId u, NodeId v) {
     // non-free nodes come from one clique, and (u,v) inside one clique is
     // impossible for a *new* edge). Nothing to do — Algorithm 6's silent
     // case.
+    FinishUpdate(meter, SwapStats{});
     return Status::OK();
   }
 
   SwapQueue queue;
+  SwapStats swaps;
   if (cu != SolutionState::kNoClique || cv != SolutionState::kNoClique) {
     // Exactly one endpoint free (lines 1-6): candidates through (u,v) can
-    // only belong to the non-free endpoint's clique.
+    // only belong to the non-free endpoint's clique. The rebuild itself
+    // reports whether the edge actually created a candidate there.
     const uint32_t owner = cu != SolutionState::kNoClique ? cu : cv;
-    state_->RebuildCandidatesFor(owner);
-    bool has_new_candidate = false;
-    for (const auto& cand : state_->CandidatesOf(owner)) {
-      const bool has_u = std::find(cand.nodes.begin(), cand.nodes.end(), u) !=
-                         cand.nodes.end();
-      const bool has_v = std::find(cand.nodes.begin(), cand.nodes.end(), v) !=
-                         cand.nodes.end();
-      if (has_u && has_v) {
-        has_new_candidate = true;
-        break;
-      }
-    }
-    if (has_new_candidate) {
+    const auto rebuilt = state_->RebuildCandidatesFor(owner, u, v);
+    meter.Charge(1 + rebuilt.candidates);
+    if (rebuilt.has_edge) {
       queue.push_back(state_->RefOf(owner));
-      Accumulate(&swap_stats_, TrySwapLoop(state_.get(), &queue));
+      swaps = TrySwapLoop(state_.get(), &queue, &meter, pool_);
     }
+    FinishUpdate(meter, swaps);
     return Status::OK();
   }
 
   // Both endpoints free (lines 7-15).
   std::vector<NodeId> clique;
   if (FindFreeCliqueWithEdge(u, v, &clique)) {
-    // A brand-new all-free clique: add directly, no swapping needed — other
-    // cliques cannot have gained candidates from consuming free nodes.
+    // A brand-new all-free clique: add directly. AddSolutionClique kills
+    // every candidate (of any owner) that used the consumed nodes as free
+    // nodes — without that kill, a later DeleteEdge could pack a stale
+    // candidate into the solution and break disjointness (pinned by the
+    // StaleCandidate regression tests). No swapping is needed: every
+    // candidate of the new clique contains both u and v (any other
+    // combination was an all-free clique of the *pre-insert* graph,
+    // contradicting maximality), so no two of them are disjoint.
     const uint32_t slot = state_->AddSolutionClique(clique);
-    state_->RebuildCandidatesFor(slot);
+    meter.Charge(1 + state_->RebuildCandidatesFor(slot));
+    FinishUpdate(meter, SwapStats{});
     return Status::OK();
   }
-  EnqueueOwnersOfNewCandidates(u, v, &queue);
+  EnqueueOwnersOfNewCandidates(u, v, &queue, &meter);
   if (!queue.empty()) {
-    Accumulate(&swap_stats_, TrySwapLoop(state_.get(), &queue));
+    swaps = TrySwapLoop(state_.get(), &queue, &meter, pool_);
   }
+  FinishUpdate(meter, swaps);
   return Status::OK();
 }
 
 Status DynamicSolver::DeleteEdge(NodeId u, NodeId v) {
+  last_update_ = UpdateStats{};  // an errored call did no work
   if (!state_->graph().DeleteEdge(u, v)) {
     return Status::NotFound("edge does not exist");
   }
+  UpdateWork meter = UpdateWork::FromBudget(update_budget_);
   // Candidates through the edge are no longer cliques.
   state_->KillCandidatesWithEdge(u, v);
+  meter.Charge(1);
 
   const uint32_t cu = state_->CliqueOf(u);
   const uint32_t cv = state_->CliqueOf(v);
   if (cu == SolutionState::kNoClique || cu != cv) {
+    FinishUpdate(meter, SwapStats{});
     return Status::OK();  // lines 5-6: only candidates were affected
   }
 
   // Lines 1-4: the edge broke solution clique C. Replace it by the best
   // disjoint packing of its surviving candidates (possibly empty), then let
-  // the swap loop chase follow-on opportunities.
-  auto replacement = PackDisjointCandidates(*state_, cu);
+  // the swap loop chase follow-on opportunities. The repair itself is
+  // mandatory and runs to completion whatever the budget says; only the
+  // follow-on loop can be cut short.
+  auto replacement = PackDisjointCandidates(*state_, cu, pool_);
   SwapQueue queue;
-  CommitReplacement(state_.get(), cu, replacement, &queue);
-  Accumulate(&swap_stats_, TrySwapLoop(state_.get(), &queue));
+  CommitReplacement(state_.get(), cu, replacement, &queue, &meter, pool_);
+  const SwapStats swaps = TrySwapLoop(state_.get(), &queue, &meter, pool_);
+  FinishUpdate(meter, swaps);
   return Status::OK();
 }
 

@@ -21,12 +21,35 @@ struct DynamicOptions {
   /// Static method that seeds the initial solution.
   Method initial_method = Method::kLP;
   Budget initial_budget;
-  ThreadPool* pool = nullptr;  // initial solve + index build
+  /// Per-update maintenance budget for InsertEdge/DeleteEdge: time_ms is a
+  /// wall-clock deadline per update, max_branch_nodes a *deterministic*
+  /// work cap (units: swap pops + candidate rebuilds + candidates
+  /// registered). Exhaustion never corrupts the solution — mandatory
+  /// repair work (broken-clique replacement, candidate kills) always runs;
+  /// only the growth-chasing swap loop is cut short, surfaced through
+  /// last_update_stats().aborted(). With a pure work cap the abort outcome
+  /// is byte-identical at every thread count. Zero fields = unlimited.
+  Budget update_budget;
+  /// Worker pool for the initial solve + index build *and* the per-update
+  /// parallel paths (candidate-rebuild fan-out in insertions and swap
+  /// commits, packing's candidate sort). Solutions and abort outcomes are
+  /// byte-identical at any thread count.
+  ThreadPool* pool = nullptr;
 };
 
 struct DynamicBuildStats {
   double solve_ms = 0.0;  // initial static solve
   double index_ms = 0.0;  // Algorithm 5 over the whole solution (Table VII)
+};
+
+/// Outcome of the most recent InsertEdge/DeleteEdge (budget/abort
+/// accounting; the Status return carries only hard argument errors).
+struct UpdateStats {
+  uint64_t work = 0;  // deterministic units charged (see UpdateWork)
+  SwapStats swaps;    // this update's swap activity
+
+  /// True iff update_budget cut this update's swap loop short.
+  bool aborted() const { return swaps.aborted; }
 };
 
 class DynamicSolver {
@@ -56,6 +79,16 @@ class DynamicSolver {
   const DynamicBuildStats& build_stats() const { return build_stats_; }
   const SwapStats& lifetime_swap_stats() const { return swap_stats_; }
 
+  /// Budget/abort outcome of the most recent update.
+  const UpdateStats& last_update_stats() const { return last_update_; }
+  /// Lifetime count of updates whose maintenance the budget truncated.
+  uint64_t aborted_updates() const { return aborted_updates_; }
+  /// Entries (alive + stale) across the index's per-node candidate lists;
+  /// bounded by compaction (see SolutionState::node_cand_ref_count).
+  size_t node_cand_ref_count() const {
+    return state_->node_cand_ref_count();
+  }
+
   /// Copy of the current solution, e.g. for verification.
   CliqueStore Snapshot() const { return state_->Snapshot(); }
   const DynamicGraph& graph() const { return state_->graph(); }
@@ -66,22 +99,40 @@ class DynamicSolver {
     return state_->CheckInvariants(error);
   }
 
+  /// Index-vs-fresh-enumeration completeness check for tests (expensive;
+  /// see SolutionState::CheckCandidateCompleteness).
+  bool CheckCandidateCompleteness(std::string* error) const {
+    return state_->CheckCandidateCompleteness(error);
+  }
+
  private:
-  DynamicSolver(std::unique_ptr<SolutionState> state,
-                DynamicBuildStats stats)
-      : state_(std::move(state)), build_stats_(stats) {}
+  DynamicSolver(std::unique_ptr<SolutionState> state, DynamicBuildStats stats,
+                const DynamicOptions& options)
+      : state_(std::move(state)),
+        build_stats_(stats),
+        update_budget_(options.update_budget),
+        pool_(options.pool) {}
 
   // Finds one k-clique containing both u and v with every node free;
   // fills `clique` and returns true if found (Algorithm 6, lines 7-9).
   bool FindFreeCliqueWithEdge(NodeId u, NodeId v, std::vector<NodeId>* clique);
 
   // Registers the owners of would-be candidate cliques through the new
-  // edge (u,v) and pushes them to `queue` (Algorithm 6, lines 12-15).
-  void EnqueueOwnersOfNewCandidates(NodeId u, NodeId v, SwapQueue* queue);
+  // edge (u,v), charging `meter`, and pushes the ones that gained
+  // candidates to `queue` (Algorithm 6, lines 12-15).
+  void EnqueueOwnersOfNewCandidates(NodeId u, NodeId v, SwapQueue* queue,
+                                    UpdateWork* meter);
+
+  // Folds one update's meter + swap outcome into the surfaced stats.
+  void FinishUpdate(const UpdateWork& meter, const SwapStats& swaps);
 
   std::unique_ptr<SolutionState> state_;  // stable address for internals
   DynamicBuildStats build_stats_;
+  Budget update_budget_;
+  ThreadPool* pool_ = nullptr;
   SwapStats swap_stats_;
+  UpdateStats last_update_;
+  uint64_t aborted_updates_ = 0;
 };
 
 }  // namespace dkc

@@ -1,19 +1,67 @@
 #include "dynamic/swap.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace dkc {
+namespace {
+
+// Fixed chunk geometry for the parallel candidate sort. The boundaries must
+// not depend on the pool size: byte-identity across thread counts comes for
+// free when every configuration sorts the same chunks under the same total
+// order.
+constexpr size_t kParallelSortMin = 64;
+constexpr size_t kSortChunk = 32;
+
+// Ascending (score, registration index) — a *total* order, so any sorting
+// schedule produces the exact permutation the serial stable_sort (score
+// only, stable on registration order) produces.
+void SortCandidatesByScore(std::vector<SolutionState::CandidateView>* cands,
+                           ThreadPool* pool) {
+  auto& c = *cands;
+  const size_t n = c.size();
+  if (pool == nullptr || pool->num_threads() <= 1 || n < kParallelSortMin) {
+    std::stable_sort(c.begin(), c.end(),
+                     [](const SolutionState::CandidateView& a,
+                        const SolutionState::CandidateView& b) {
+                       return a.score < b.score;
+                     });
+    return;
+  }
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const auto less = [&c](uint32_t a, uint32_t b) {
+    return c[a].score != c[b].score ? c[a].score < c[b].score : a < b;
+  };
+  const size_t chunks = (n + kSortChunk - 1) / kSortChunk;
+  pool->ParallelFor(chunks, [&](size_t i) {
+    const auto begin = order.begin() + static_cast<ptrdiff_t>(i * kSortChunk);
+    const auto end =
+        order.begin() + static_cast<ptrdiff_t>(std::min(n, (i + 1) * kSortChunk));
+    std::sort(begin, end, less);
+  });
+  // Serial bottom-up merge over the fixed chunk boundaries.
+  for (size_t width = kSortChunk; width < n; width *= 2) {
+    for (size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const auto begin = order.begin() + static_cast<ptrdiff_t>(lo);
+      std::inplace_merge(begin, begin + static_cast<ptrdiff_t>(width),
+                         order.begin() +
+                             static_cast<ptrdiff_t>(std::min(n, lo + 2 * width)),
+                         less);
+    }
+  }
+  std::vector<SolutionState::CandidateView> sorted;
+  sorted.reserve(n);
+  for (uint32_t idx : order) sorted.push_back(std::move(c[idx]));
+  c = std::move(sorted);
+}
+
+}  // namespace
 
 std::vector<std::vector<NodeId>> PackDisjointCandidates(
-    const SolutionState& state, uint32_t slot) {
+    const SolutionState& state, uint32_t slot, ThreadPool* pool) {
   auto candidates = state.CandidatesOf(slot);
-  // Ascending clique score; CandidatesOf yields registration order, and
-  // stable_sort keeps it as the tie-break, so packing is deterministic.
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const SolutionState::CandidateView& a,
-                      const SolutionState::CandidateView& b) {
-                     return a.score < b.score;
-                   });
+  SortCandidatesByScore(&candidates, pool);
   std::vector<std::vector<NodeId>> chosen;
   std::vector<NodeId> taken;  // nodes consumed by chosen candidates
   for (auto& cand : candidates) {
@@ -33,7 +81,8 @@ std::vector<std::vector<NodeId>> PackDisjointCandidates(
 
 void CommitReplacement(SolutionState* state, uint32_t slot,
                        const std::vector<std::vector<NodeId>>& replacement,
-                       SwapQueue* queue) {
+                       SwapQueue* queue, UpdateWork* budget,
+                       ThreadPool* pool) {
   std::vector<NodeId> freed(state->SlotNodes(slot).begin(),
                             state->SlotNodes(slot).end());
   state->RemoveSolutionClique(slot);
@@ -44,14 +93,11 @@ void CommitReplacement(SolutionState* state, uint32_t slot,
     added.push_back(state->AddSolutionClique(nodes));
   }
 
-  // New cliques get a fresh candidate set (Algorithm 5 on their B).
-  for (uint32_t s : added) {
-    const size_t cands = state->RebuildCandidatesFor(s);
-    if (queue != nullptr && cands > 0) queue->push_back(state->RefOf(s));
-  }
-
-  // Nodes of the removed clique that no replacement consumed are free now;
-  // cliques adjacent to them may have gained candidates.
+  // Cliques needing a fresh candidate set (Algorithm 5 on their B): the
+  // added cliques, then every clique adjacent to a node of the removed
+  // clique that no replacement consumed — those nodes are free now, so
+  // their neighbors' cliques may have gained candidates.
+  std::vector<uint32_t> to_rebuild = added;
   std::vector<uint32_t> affected;
   for (NodeId f : freed) {
     if (!state->IsFree(f)) continue;
@@ -63,29 +109,43 @@ void CommitReplacement(SolutionState* state, uint32_t slot,
   std::sort(affected.begin(), affected.end());
   affected.erase(std::unique(affected.begin(), affected.end()),
                  affected.end());
-  for (uint32_t s : added) {  // already rebuilt above
-    affected.erase(std::remove(affected.begin(), affected.end(), s),
-                   affected.end());
-  }
   for (uint32_t s : affected) {
-    if (!state->SlotAlive(s)) continue;
-    const size_t cands = state->RebuildCandidatesFor(s);
-    if (queue != nullptr && cands > 0) queue->push_back(state->RefOf(s));
+    if (std::find(added.begin(), added.end(), s) == added.end()) {
+      to_rebuild.push_back(s);
+    }
+  }
+
+  std::vector<size_t> counts;
+  state->RebuildCandidatesForMany(to_rebuild, pool, &counts);
+  for (size_t i = 0; i < to_rebuild.size(); ++i) {
+    if (budget != nullptr) budget->Charge(1 + counts[i]);
+    if (queue != nullptr && counts[i] > 0) {
+      queue->push_back(state->RefOf(to_rebuild[i]));
+    }
   }
 }
 
-SwapStats TrySwapLoop(SolutionState* state, SwapQueue* queue) {
+SwapStats TrySwapLoop(SolutionState* state, SwapQueue* queue,
+                      UpdateWork* budget, ThreadPool* pool) {
   SwapStats stats;
   while (!queue->empty()) {
+    if (budget != nullptr && budget->Exhausted()) {
+      // Pop-boundary abort: everything committed so far stays, the
+      // remaining entries were only growth opportunities.
+      stats.aborted = true;
+      queue->clear();
+      break;
+    }
     const SolutionState::SlotRef ref = queue->front();
     queue->pop_front();
     if (!state->RefValid(ref)) continue;  // swapped away since enqueue
     ++stats.pops;
-    auto replacement = PackDisjointCandidates(*state, ref.slot);
+    if (budget != nullptr) budget->Charge(1);
+    auto replacement = PackDisjointCandidates(*state, ref.slot, pool);
     if (replacement.size() <= 1) continue;  // no net gain: keep C
     ++stats.commits;
     stats.cliques_gained += replacement.size() - 1;
-    CommitReplacement(state, ref.slot, replacement, queue);
+    CommitReplacement(state, ref.slot, replacement, queue, budget, pool);
   }
   return stats;
 }

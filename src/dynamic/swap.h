@@ -8,6 +8,15 @@
 // solution strictly grows. Commits free leftover nodes and create fresh
 // candidates, so affected cliques re-enter the queue; every commit grows
 // |S| by >= 1, which bounds the loop.
+//
+// Budgeted maintenance: the loop optionally runs under an UpdateWork meter.
+// Work units are charged deterministically (one per pop, one per candidate
+// rebuild plus one per candidate it registers), and exhaustion aborts the
+// loop at a pop boundary — the solution and the candidate index stay fully
+// consistent; only further *growth opportunities* (queued swaps) are
+// abandoned. With a pure work cap (no wall-clock deadline) the abort
+// outcome is a property of the update stream, byte-identical at every
+// thread count.
 
 #ifndef DKC_DYNAMIC_SWAP_H_
 #define DKC_DYNAMIC_SWAP_H_
@@ -15,35 +24,81 @@
 #include <deque>
 #include <vector>
 
+#include "core/types.h"
 #include "dynamic/candidate_index.h"
+#include "util/timer.h"
 
 namespace dkc {
 
 using SwapQueue = std::deque<SolutionState::SlotRef>;
 
+/// Deterministic per-update work meter — the dynamic engine's analogue of
+/// OPT's exact-MIS branch budget. Charges depend only on the update
+/// history, never on scheduling; the wall-clock deadline is the
+/// schedule-dependent escape hatch for latency-bound deployments.
+struct UpdateWork {
+  static UpdateWork FromBudget(const Budget& budget) {
+    UpdateWork work;
+    if (budget.time_ms > 0) {
+      work.deadline = Deadline::AfterMillis(budget.time_ms);
+    }
+    work.max_work = budget.max_branch_nodes;
+    return work;
+  }
+
+  Deadline deadline = Deadline::Unlimited();
+  uint64_t max_work = 0;  // 0 = unlimited
+  uint64_t work = 0;      // units charged so far
+  bool aborted = false;   // latched by Exhausted()
+
+  void Charge(uint64_t units) { work += units; }
+
+  /// True once the budget is spent; latches `aborted`. Only the swap loop
+  /// consults it (at pop boundaries) — mandatory repair work always runs.
+  bool Exhausted() {
+    if (aborted) return true;
+    if ((max_work != 0 && work >= max_work) || deadline.Expired()) {
+      aborted = true;
+    }
+    return aborted;
+  }
+};
+
 struct SwapStats {
   uint64_t pops = 0;
   uint64_t commits = 0;
   uint64_t cliques_gained = 0;  // sum over commits of |S_dis| - 1
+  bool aborted = false;         // an UpdateWork budget cut the loop short
 };
 
 /// Greedy maximal disjoint packing of the alive candidates of `slot`,
 /// ascending clique score (deterministic: ties by registration order).
 /// Returned cliques are node-vectors safe to use after the slot dies.
+/// With `pool`, large candidate sets are sorted in parallel under the
+/// (score, registration index) total order — the same permutation the
+/// serial stable_sort produces, so the packing is byte-identical at any
+/// thread count.
 std::vector<std::vector<NodeId>> PackDisjointCandidates(
-    const SolutionState& state, uint32_t slot);
+    const SolutionState& state, uint32_t slot, ThreadPool* pool = nullptr);
 
 /// Replace solution clique `slot` (must be alive) by `replacement` cliques
 /// (each must consist of nodes that are free once `slot` is removed).
 /// Rebuilds candidates for the added cliques and for every clique adjacent
-/// to a node that ended up free, pushing the ones with candidates to
-/// `queue` (when non-null) for further swapping.
+/// to a node that ended up free (fanned across `pool` when given), pushing
+/// the ones with candidates to `queue` (when non-null) for further
+/// swapping. Rebuild work is charged to `budget` when given; the commit
+/// itself is atomic — it never aborts partway.
 void CommitReplacement(SolutionState* state, uint32_t slot,
                        const std::vector<std::vector<NodeId>>& replacement,
-                       SwapQueue* queue);
+                       SwapQueue* queue, UpdateWork* budget = nullptr,
+                       ThreadPool* pool = nullptr);
 
-/// Algorithm 4: drain the queue, swapping wherever |S_dis| >= 2.
-SwapStats TrySwapLoop(SolutionState* state, SwapQueue* queue);
+/// Algorithm 4: drain the queue, swapping wherever |S_dis| >= 2. Under a
+/// budget the drain aborts at a pop boundary once the meter is exhausted
+/// (stats.aborted; remaining queue entries are discarded).
+SwapStats TrySwapLoop(SolutionState* state, SwapQueue* queue,
+                      UpdateWork* budget = nullptr,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace dkc
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/dynamic_graph.h"
 #include "graph/graph_builder.h"
 
 namespace dkc {
@@ -41,6 +42,46 @@ Graph RemoveEdges(const Graph& g, const std::vector<Edge>& edges) {
     }
   }
   return builder.Build();
+}
+
+std::vector<UpdateOp> MakeChurnStream(const Graph& g, size_t count,
+                                      Rng& rng) {
+  const NodeId n = g.num_nodes();
+  const size_t max_edges = n < 2 ? 0 : static_cast<size_t>(n) * (n - 1) / 2;
+  DynamicGraph mirror(g);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  std::vector<UpdateOp> ops;
+  if (max_edges == 0) return ops;  // < 2 nodes: no valid op exists
+  ops.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // A complete mirror forces a deletion — the rejection sampler below
+    // would spin forever with no absent pair left to find.
+    const bool do_insert =
+        edges.size() < max_edges && (edges.empty() || rng.NextBool(0.55));
+    if (do_insert) {
+      NodeId u = 0, v = 0;
+      do {
+        u = static_cast<NodeId>(rng.NextBounded(n));
+        v = static_cast<NodeId>(rng.NextBounded(n));
+      } while (u == v || mirror.HasEdge(u, v));
+      mirror.InsertEdge(u, v);
+      edges.emplace_back(std::min(u, v), std::max(u, v));
+      ops.push_back({true, {u, v}});
+    } else {
+      const size_t pick = rng.NextBounded(edges.size());
+      const Edge e = edges[pick];
+      edges[pick] = edges.back();
+      edges.pop_back();
+      mirror.DeleteEdge(e.first, e.second);
+      ops.push_back({false, e});
+    }
+  }
+  return ops;
 }
 
 MixedWorkload MakeMixedWorkload(const Graph& g, size_t insert_count,

@@ -38,6 +38,15 @@ struct MixedWorkload {
 MixedWorkload MakeMixedWorkload(const Graph& g, size_t insert_count,
                                 size_t delete_count, Rng& rng);
 
+/// A length-`count` churn stream applied *on top of* `g`: each step is an
+/// insertion of a uniformly sampled absent pair (p = 0.55, or always once
+/// no edges remain) or a deletion of a uniformly sampled live edge,
+/// chosen against an internal graph mirror so every op is valid when the
+/// stream is replayed in order. This is the differential harness's churn
+/// model, shared so the thread-sweep (and any bench) replays bit-equal
+/// streams. Deterministic per rng state.
+std::vector<UpdateOp> MakeChurnStream(const Graph& g, size_t count, Rng& rng);
+
 /// Copy of `g` without the given edges (helper for MakeMixedWorkload and
 /// the deletion-then-insertion experiments).
 Graph RemoveEdges(const Graph& g, const std::vector<Edge>& edges);

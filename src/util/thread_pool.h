@@ -41,6 +41,14 @@ class ThreadPool {
   /// distinct indices. With one thread (or tiny ranges) runs inline.
   void ParallelFor(size_t count, const std::function<void(size_t)>& body);
 
+  /// Submit `fn(worker_index)` once per pool thread and block until every
+  /// instance returns. The building block for passes that keep worker-
+  /// private scratch (a kernel + arena) and pull work items off a shared
+  /// atomic cursor — the candidate-index rebuild fan-outs use it so the
+  /// submit/cursor boilerplate lives in one place. With an empty pool runs
+  /// fn(0) inline.
+  void RunPerWorker(const std::function<void(size_t)>& fn);
+
  private:
   void WorkerLoop();
 

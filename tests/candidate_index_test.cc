@@ -162,6 +162,90 @@ TEST(SolutionStateTest, ParallelRebuildMatchesSerial) {
   EXPECT_TRUE(parallel.CheckInvariants(&error)) << error;
 }
 
+TEST(SolutionStateTest, RebuildReportsEdgeCandidateDirectly) {
+  // Satellite 3: the rebuild answers "did (u,v) create a candidate here?"
+  // during registration, replacing InsertEdge's CandidatesOf re-scan.
+  Graph g = PaperFig5G2();
+  SolutionState state = Fig5State(g);
+  const uint32_t c1 = state.CliqueOf(2);
+  // Candidate (v5,v6,v7) = (4,5,6) goes through edge (4,6); (v1,v2) = (0,1)
+  // only appears in candidate (0,1,2).
+  auto outcome = state.RebuildCandidatesFor(c1, 4, 6);
+  EXPECT_EQ(outcome.candidates, 2u);
+  EXPECT_TRUE(outcome.has_edge);
+  outcome = state.RebuildCandidatesFor(c1, 0, 1);
+  EXPECT_EQ(outcome.candidates, 2u);
+  EXPECT_TRUE(outcome.has_edge);
+  // (v1, v6) = (0, 5): no candidate contains both.
+  outcome = state.RebuildCandidatesFor(c1, 0, 5);
+  EXPECT_EQ(outcome.candidates, 2u);
+  EXPECT_FALSE(outcome.has_edge);
+  // The count-only overload agrees.
+  EXPECT_EQ(state.RebuildCandidatesFor(c1), 2u);
+}
+
+TEST(SolutionStateTest, RebuildManyMatchesSerialExactly) {
+  // The pooled fan-out must reproduce the serial per-slot loop to the
+  // byte: same candidates, same registration order per slot.
+  Graph g = testing::RandomGraph(200, 0.07, /*seed=*/220);
+  SolutionState serial(DynamicGraph(g), 3, ScoresFor(g, 3));
+  SolutionState pooled(DynamicGraph(g), 3, ScoresFor(g, 3));
+  std::vector<uint8_t> used(g.num_nodes(), 0);
+  std::vector<uint32_t> slots;
+  for (const auto& tri : testing::BruteForceKCliques(g, 3)) {
+    if (used[tri[0]] || used[tri[1]] || used[tri[2]]) continue;
+    for (NodeId u : tri) used[u] = 1;
+    slots.push_back(serial.AddSolutionClique(tri));
+    pooled.AddSolutionClique(tri);
+  }
+  ASSERT_GE(slots.size(), 2u);
+  std::vector<size_t> serial_counts, pooled_counts;
+  serial.RebuildCandidatesForMany(slots, nullptr, &serial_counts);
+  ThreadPool pool(4);
+  pooled.RebuildCandidatesForMany(slots, &pool, &pooled_counts);
+  EXPECT_EQ(serial_counts, pooled_counts);
+  EXPECT_EQ(serial.num_alive_candidates(), pooled.num_alive_candidates());
+  for (uint32_t s : slots) {
+    const auto a = serial.CandidatesOf(s);
+    const auto b = pooled.CandidatesOf(s);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].nodes, b[i].nodes);  // order matters: registration order
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+  std::string error;
+  EXPECT_TRUE(pooled.CheckInvariants(&error)) << error;
+  EXPECT_TRUE(pooled.CheckCandidateCompleteness(&error)) << error;
+}
+
+TEST(SolutionStateTest, CompletenessCheckerCatchesMissingCandidates) {
+  Graph g = PaperFig5G2();
+  SolutionState state = Fig5State(g);
+  state.RebuildAllCandidates();
+  std::string error;
+  ASSERT_TRUE(state.CheckCandidateCompleteness(&error)) << error;
+  // Kill candidates through an edge that still exists: the survivors are
+  // all valid (CheckInvariants passes) but the index is now incomplete.
+  ASSERT_EQ(state.KillCandidatesWithEdge(5, 6), 1u);
+  EXPECT_TRUE(state.CheckInvariants(&error)) << error;
+  EXPECT_FALSE(state.CheckCandidateCompleteness(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SolutionStateTest, InvariantCheckerCatchesCorruptedCandidate) {
+  // Delete a candidate-only edge behind the state's back: the solution
+  // cliques stay intact, but an alive candidate is no longer a clique.
+  Graph g = PaperFig5G2();
+  SolutionState state = Fig5State(g);
+  state.RebuildAllCandidates();
+  ASSERT_EQ(state.num_alive_candidates(), 2u);
+  state.graph().DeleteEdge(5, 6);  // inside candidate (v5,v6,v7) only
+  std::string error;
+  EXPECT_FALSE(state.CheckInvariants(&error));
+  EXPECT_NE(error.find("candidate"), std::string::npos) << error;
+}
+
 TEST(SolutionStateTest, InvariantCheckerCatchesPlantedCorruption) {
   Graph g = PaperFig5G1();
   SolutionState state = Fig5State(g);

@@ -172,6 +172,8 @@ TEST(DifferentialTest, DynamicSolverSurvivesRandomUpdateStreams) {
       std::string invariant_error;
       ASSERT_TRUE(solver->CheckInvariants(&invariant_error))
           << invariant_error;
+      ASSERT_TRUE(solver->CheckCandidateCompleteness(&invariant_error))
+          << invariant_error;
 
       const Graph current = solver->graph().ToGraph();
       ASSERT_EQ(current.num_edges(), edges.size());

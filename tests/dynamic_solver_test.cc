@@ -244,6 +244,11 @@ TEST_P(DynamicChurnSweep, InvariantsSurviveChurn) {
     std::string error;
     ASSERT_TRUE(solver->CheckInvariants(&error))
         << "step " << step << ": " << error;
+    // The completeness audit is what would catch a stale candidate (kept
+    // though invalid) or a forgotten registration — classes of index rot
+    // CheckInvariants cannot see.
+    ASSERT_TRUE(solver->CheckCandidateCompleteness(&error))
+        << "step " << step << ": " << error;
   }
   ExpectMaximal(*solver);
 
@@ -263,6 +268,188 @@ INSTANTIATE_TEST_SUITE_P(
     Churn, DynamicChurnSweep,
     ::testing::Combine(::testing::Values(3, 4),
                        ::testing::Range<uint64_t>(0, 4)));
+
+// Satellite-1 regression: InsertEdge's both-endpoints-free path adds a
+// brand-new all-free clique, consuming free nodes that other cliques'
+// candidates were using. Those candidates must die with the consumption —
+// a stale survivor would be packed into the solution by a follow-up
+// DeleteEdge and break disjointness.
+TEST(DynamicSolverTest, FreeCliqueInsertionKillsOtherCliquesCandidates) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);  // seed solution triangle C = {0,1,2}
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 4);
+  b.AddEdge(3, 4);  // X = {0,3,4}: a candidate of C through free 3,4
+  b.AddEdge(4, 5);
+  b.AddEdge(4, 6);  // {4,5,6} closes into a free triangle once 5-6 lands
+  Graph g = b.Build();
+
+  CliqueStore seed(3);
+  seed.Add(std::vector<NodeId>{0, 1, 2});
+  auto solver = DynamicSolver::BuildFromSolution(g, seed, Opts(3));
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+  ASSERT_EQ(solver->index_size(), 1u);  // exactly X
+
+  // Both endpoints free; FindFreeCliqueWithEdge finds {4,5,6} and consumes
+  // node 4 — X must die with it.
+  ASSERT_TRUE(solver->InsertEdge(5, 6).ok());
+  EXPECT_EQ(solver->solution_size(), 2u);
+  EXPECT_EQ(solver->index_size(), 0u);
+  std::string error;
+  ASSERT_TRUE(solver->CheckInvariants(&error)) << error;
+  ASSERT_TRUE(solver->CheckCandidateCompleteness(&error)) << error;
+
+  // The trip-wire: breaking C packs its surviving candidates into S. A
+  // stale X would resurrect {0,3,4} with node 4 already owned by {4,5,6}.
+  ASSERT_TRUE(solver->DeleteEdge(0, 1).ok());
+  EXPECT_EQ(solver->solution_size(), 1u);
+  ASSERT_TRUE(solver->CheckInvariants(&error)) << error;
+  ASSERT_TRUE(solver->CheckCandidateCompleteness(&error)) << error;
+  ExpectMaximal(*solver);
+}
+
+// Same shape under churn: free-clique insertions interleaved with deletes
+// that immediately repack the consumed candidates' owners.
+TEST(DynamicSolverTest, FreeCliqueInsertionChurnKeepsIndexExact) {
+  Rng rng(9100);
+  Graph g = testing::RandomGraph(60, 0.18, 9100);
+  auto solver = DynamicSolver::Build(g, Opts(3));
+  ASSERT_TRUE(solver.ok());
+  std::vector<std::pair<NodeId, NodeId>> deleted;
+  for (int step = 0; step < 150; ++step) {
+    if (!deleted.empty() && rng.NextBool(0.5)) {
+      const size_t i = rng.NextBounded(deleted.size());
+      const auto [u, v] = deleted[i];
+      deleted.erase(deleted.begin() + static_cast<ptrdiff_t>(i));
+      ASSERT_TRUE(solver->InsertEdge(u, v).ok());
+    } else {
+      const Graph current = solver->graph().ToGraph();
+      if (current.num_edges() == 0) continue;
+      Count target = rng.NextBounded(current.num_edges());
+      for (NodeId u = 0; u < current.num_nodes(); ++u) {
+        for (NodeId v : current.Neighbors(u)) {
+          if (u < v && target-- == 0) {
+            ASSERT_TRUE(solver->DeleteEdge(u, v).ok());
+            deleted.emplace_back(u, v);
+          }
+        }
+      }
+    }
+    std::string error;
+    ASSERT_TRUE(solver->CheckCandidateCompleteness(&error))
+        << "step " << step << ": " << error;
+  }
+}
+
+// The paper's Fig. 5(a) solution S = {(v3,v4,v5), (v9,v10,v11)} — seeding
+// it exactly (instead of whatever LP picks) pins the insertion of (v5,v7)
+// to the one-endpoint-free path, where TrySwap normally grows |S| 2 -> 3.
+StatusOr<DynamicSolver> Fig5Solver(const DynamicOptions& options) {
+  CliqueStore seed(3);
+  seed.Add(std::vector<NodeId>{2, 3, 4});    // v3,v4,v5
+  seed.Add(std::vector<NodeId>{8, 9, 10});   // v9,v10,v11
+  return DynamicSolver::BuildFromSolution(PaperFig5G1(), seed, options);
+}
+
+TEST(DynamicSolverTest, UpdateBudgetAbortIsSurfacedAndSolutionStaysValid) {
+  // A one-unit work cap exhausts before the first swap pop, so the growth
+  // is skipped — but the solution must stay a valid (previous) disjoint
+  // set and the abort must be surfaced, not silent.
+  DynamicOptions options = Opts(3);
+  options.update_budget.max_branch_nodes = 1;
+  auto solver = Fig5Solver(options);
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+  ASSERT_EQ(solver->solution_size(), 2u);
+  ASSERT_TRUE(solver->InsertEdge(4, 6).ok());
+  EXPECT_TRUE(solver->last_update_stats().aborted());
+  EXPECT_EQ(solver->aborted_updates(), 1u);
+  EXPECT_GE(solver->last_update_stats().work, 1u);
+  EXPECT_EQ(solver->last_update_stats().swaps.commits, 0u);
+  EXPECT_EQ(solver->solution_size(), 2u);  // growth skipped, not corrupted
+  std::string error;
+  EXPECT_TRUE(solver->CheckInvariants(&error)) << error;
+  Graph current = solver->graph().ToGraph();
+  EXPECT_TRUE(VerifyDisjointCliques(current, solver->Snapshot()).ok());
+}
+
+TEST(DynamicSolverTest, UnlimitedBudgetNeverAborts) {
+  auto solver = Fig5Solver(Opts(3));
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+  ASSERT_TRUE(solver->InsertEdge(4, 6).ok());
+  EXPECT_FALSE(solver->last_update_stats().aborted());
+  EXPECT_EQ(solver->aborted_updates(), 0u);
+  EXPECT_EQ(solver->last_update_stats().swaps.commits, 1u);
+  EXPECT_GT(solver->last_update_stats().work, 0u);
+  EXPECT_EQ(solver->solution_size(), 3u);
+}
+
+TEST(DynamicSolverTest, ErroredUpdatesResetLastUpdateStats) {
+  // last_update_stats() describes the *most recent call*: a rejected
+  // duplicate-insert or missing-delete must not leave the previous
+  // update's work/abort outcome dangling.
+  auto solver = Fig5Solver(Opts(3));
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+  ASSERT_TRUE(solver->InsertEdge(4, 6).ok());
+  ASSERT_GT(solver->last_update_stats().work, 0u);
+  EXPECT_FALSE(solver->InsertEdge(4, 6).ok());  // duplicate
+  EXPECT_EQ(solver->last_update_stats().work, 0u);
+  EXPECT_EQ(solver->last_update_stats().swaps.commits, 0u);
+  EXPECT_FALSE(solver->DeleteEdge(0, 7).ok());  // no such edge
+  EXPECT_EQ(solver->last_update_stats().work, 0u);
+  EXPECT_FALSE(solver->last_update_stats().aborted());
+}
+
+// Satellite-2 regression: long delete-heavy streams used to grow stale refs
+// without bound in every per-node list except the one KillCandidatesWithEdge
+// happened to scan. The bounded compaction keeps the total ref count within
+// the documented linear envelope at every public-call boundary.
+TEST(DynamicSolverTest, NodeCandRefsStayBoundedOverLongStreams) {
+  Rng rng(9200);
+  Graph g = testing::RandomGraph(120, 0.12, 9200);
+  auto solver = DynamicSolver::Build(g, Opts(3));
+  ASSERT_TRUE(solver.ok());
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> deleted;
+  size_t max_refs = 0;
+  for (int update = 0; update < 10000; ++update) {
+    // Delete-heavy: 70% deletions while edges remain.
+    const bool do_delete = !edges.empty() && rng.NextBool(0.7);
+    if (do_delete) {
+      const size_t pick = rng.NextBounded(edges.size());
+      const auto [u, v] = edges[pick];
+      edges[pick] = edges.back();
+      edges.pop_back();
+      ASSERT_TRUE(solver->DeleteEdge(u, v).ok());
+      deleted.emplace_back(u, v);
+    } else if (!deleted.empty()) {
+      const size_t pick = rng.NextBounded(deleted.size());
+      const auto [u, v] = deleted[pick];
+      deleted[pick] = deleted.back();
+      deleted.pop_back();
+      ASSERT_TRUE(solver->InsertEdge(u, v).ok());
+      edges.emplace_back(u, v);
+    }
+    max_refs = std::max(max_refs, solver->node_cand_ref_count());
+    // Every update ends at a public-call boundary, where the compaction
+    // envelope must hold: refs <= 2 * alive refs + n + 64.
+    const size_t bound = 2 * 3 * static_cast<size_t>(solver->index_size()) +
+                         solver->graph().num_nodes() + 64;
+    ASSERT_LE(solver->node_cand_ref_count(), bound)
+        << "stale refs escaped the compaction bound at update " << update;
+  }
+  EXPECT_GT(max_refs, 0u);
+  std::string error;
+  EXPECT_TRUE(solver->CheckInvariants(&error)) << error;
+  EXPECT_TRUE(solver->CheckCandidateCompleteness(&error)) << error;
+}
 
 TEST(DynamicSolverTest, InsertionNeverShrinksSolution) {
   Rng rng(1500);

@@ -5,6 +5,7 @@
 #include "gen/generators.h"
 #include "gen/named_graphs.h"
 #include "test_util.h"
+#include "util/thread_pool.h"
 
 namespace dkc {
 namespace {
@@ -108,6 +109,74 @@ TEST(ResidualCoverTest, EmptyGraph) {
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->groups.empty());
   EXPECT_EQ(result->coverage(0), 0.0);
+}
+
+// K4-free random tripartite core (triangle packing on it is 3-dimensional-
+// matching shaped — proving MIS optimality on its clique graph genuinely
+// branches) plus `extra_k4s` disjoint K4 components the k=4 round packs
+// trivially. The result: the first round succeeds, the k=3 round aborts
+// under a branch budget.
+Graph TripartitePlusK4s(NodeId part, double p, uint64_t seed, int extra_k4s) {
+  Rng rng(seed);
+  GraphBuilder gb(3 * part + 4 * static_cast<NodeId>(extra_k4s));
+  for (NodeId a = 0; a < part; ++a) {
+    for (NodeId b = 0; b < part; ++b) {
+      if (rng.NextBool(p)) gb.AddEdge(a, part + b);
+      if (rng.NextBool(p)) gb.AddEdge(a, 2 * part + b);
+      if (rng.NextBool(p)) gb.AddEdge(part + a, 2 * part + b);
+    }
+  }
+  NodeId base = 3 * part;
+  for (int c = 0; c < extra_k4s; ++c, base += 4) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) gb.AddEdge(base + i, base + j);
+    }
+  }
+  return gb.Build();
+}
+
+TEST(ResidualCoverTest, BranchBudgetAbortIsSurfacedAndDeterministic) {
+  // OPT rounds under a deterministic branch budget: the k=4 round packs
+  // the K4 components and completes; the k=3 round hits the cap. The
+  // cover must keep the finished rounds, mark where it stopped — and do
+  // both *identically* at every thread count.
+  Graph g = TripartitePlusK4s(/*part=*/14, /*p=*/0.35, /*seed=*/1,
+                              /*extra_k4s=*/3);
+  ResidualCoverOptions options;
+  options.k = 4;
+  options.min_k = 3;
+  options.method = Method::kOPT;
+  options.budget_per_round.max_branch_nodes = 100;
+  auto serial = ResidualCover(g, options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(serial->aborted);
+  EXPECT_EQ(serial->aborted_round_k, 3);
+  EXPECT_EQ(serial->groups.size(), 3u);    // the k=4 round survived
+  EXPECT_EQ(serial->covered_nodes, 12u);
+  ExpectGroupsAreDisjointRealCliques(g, *serial);
+
+  ThreadPool pool2(2), pool4(4);
+  for (ThreadPool* pool : {&pool2, &pool4}) {
+    options.pool = pool;
+    auto pooled = ResidualCover(g, options);
+    ASSERT_TRUE(pooled.ok());
+    EXPECT_EQ(pooled->aborted, serial->aborted);
+    EXPECT_EQ(pooled->aborted_round_k, serial->aborted_round_k);
+    ASSERT_EQ(pooled->groups.size(), serial->groups.size());
+    for (size_t i = 0; i < pooled->groups.size(); ++i) {
+      EXPECT_EQ(pooled->groups[i].k, serial->groups[i].k);
+      EXPECT_EQ(pooled->groups[i].nodes, serial->groups[i].nodes);
+    }
+  }
+
+  // The polynomial heuristics ignore the branch cap: same options under LP
+  // never abort.
+  options.pool = nullptr;
+  options.method = Method::kLP;
+  auto lp = ResidualCover(g, options);
+  ASSERT_TRUE(lp.ok());
+  EXPECT_FALSE(lp->aborted);
+  EXPECT_EQ(lp->aborted_round_k, 0);
 }
 
 TEST(ResidualCoverTest, PlantedInstancesFullyCovered) {

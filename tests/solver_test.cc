@@ -62,6 +62,25 @@ TEST(SolverTest, AllMethodsRejectBadK) {
   }
 }
 
+TEST(SolverTest, BudgetBranchCapReachesOptAndIsIgnoredByHeuristics) {
+  // The unified Budget.max_branch_nodes flows through the facade into
+  // OPT's exact-MIS search: the hard planted-partition instance aborts
+  // deterministically (OOT) under a tiny cap, while the polynomial
+  // heuristics ignore the field entirely.
+  Graph g = testing::RandomGraphMixed(/*case_index=*/3, /*seed=*/7000);
+  SolverOptions options;
+  options.k = 3;
+  options.method = Method::kOPT;
+  options.budget.max_branch_nodes = 10;
+  auto opt = Solve(g, options);
+  ASSERT_FALSE(opt.ok());
+  EXPECT_TRUE(opt.status().IsTimeBudgetExceeded());
+  for (Method m : {Method::kHG, Method::kGC, Method::kL, Method::kLP}) {
+    options.method = m;
+    EXPECT_TRUE(Solve(g, options).ok()) << MethodName(m);
+  }
+}
+
 TEST(SolverTest, QualityOrderingOnKarate) {
   // OPT >= GC/LP >= ... all must be valid; OPT must dominate.
   Graph g = KarateClub();

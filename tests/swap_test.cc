@@ -136,6 +136,68 @@ TEST(SwapTest, CommitReplacementRebuildsAffectedNeighbors) {
   EXPECT_TRUE(state.CheckInvariants(&error)) << error;
 }
 
+TEST(PackTest, ParallelSortMatchesSerialOnLargeCandidateSets) {
+  // A hub clique with ~90 candidate triangles (well past the parallel-sort
+  // threshold): the pooled pack must equal the serial pack byte for byte,
+  // including score ties resolved by registration order.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);  // solution triangle C = {0,1,2}
+  for (NodeId i = 0; i < 90; ++i) {
+    const NodeId a = 3 + 2 * i;
+    const NodeId c = 4 + 2 * i;
+    const NodeId hub = i % 3;  // spread the candidates over C's nodes
+    b.AddEdge(hub, a);
+    b.AddEdge(hub, c);
+    b.AddEdge(a, c);  // candidate {hub, a, c}
+  }
+  Graph g = b.Build();
+  SolutionState state(DynamicGraph(g), 3, ScoresFor(g, 3));
+  const uint32_t c1 = state.AddSolutionClique(std::vector<NodeId>{0, 1, 2});
+  ASSERT_GE(state.RebuildCandidatesFor(c1), 90u);
+
+  const auto serial = PackDisjointCandidates(state, c1, nullptr);
+  ThreadPool pool2(2), pool4(4);
+  EXPECT_EQ(PackDisjointCandidates(state, c1, &pool2), serial);
+  EXPECT_EQ(PackDisjointCandidates(state, c1, &pool4), serial);
+  EXPECT_GE(serial.size(), 3u);  // one disjoint pick per hub node
+}
+
+TEST(SwapTest, BudgetAbortsLoopAtPopBoundary) {
+  Graph g = PaperFig5G2();
+  SolutionState state(DynamicGraph(g), 3, ScoresFor(g, 3));
+  const uint32_t c1 = state.AddSolutionClique(std::vector<NodeId>{2, 3, 4});
+  state.AddSolutionClique(std::vector<NodeId>{8, 9, 10});
+  state.RebuildAllCandidates();
+
+  SwapQueue queue;
+  queue.push_back(state.RefOf(c1));
+  UpdateWork spent;
+  spent.max_work = 1;
+  spent.work = 1;  // already exhausted: the loop must not pop at all
+  SwapStats stats = TrySwapLoop(&state, &queue, &spent);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_TRUE(spent.aborted);
+  EXPECT_EQ(stats.pops, 0u);
+  EXPECT_EQ(stats.commits, 0u);
+  EXPECT_TRUE(queue.empty());  // abandoned entries are discarded
+  EXPECT_EQ(state.solution_size(), 2u);
+  std::string error;
+  EXPECT_TRUE(state.CheckInvariants(&error)) << error;
+
+  // With head-room the same swap commits and charges deterministic work.
+  SwapQueue queue2;
+  queue2.push_back(state.RefOf(c1));
+  UpdateWork roomy;
+  roomy.max_work = 1000;
+  SwapStats ok_stats = TrySwapLoop(&state, &queue2, &roomy);
+  EXPECT_FALSE(ok_stats.aborted);
+  EXPECT_EQ(ok_stats.commits, 1u);
+  EXPECT_EQ(state.solution_size(), 3u);
+  EXPECT_GT(roomy.work, 0u);
+}
+
 TEST(SwapTest, SwapLoopTerminatesOnRandomGraphs) {
   for (uint64_t seed = 0; seed < 3; ++seed) {
     Graph g = testing::RandomGraph(60, 0.25, seed + 1300);

@@ -15,13 +15,17 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/opt_solver.h"
 #include "core/solver.h"
 #include "core/verify.h"
+#include "dynamic/dynamic_solver.h"
+#include "dynamic/workload.h"
 #include "graph/graph.h"
 #include "test_util.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace dkc {
@@ -112,6 +116,101 @@ TEST(ThreadSweepTest, OptOutcomesAreByteIdenticalAcrossThreadCounts) {
   // solvable, or the sweep silently degenerates into testing one path.
   EXPECT_GE(solved, 40) << "branch budget aborts too much of the sweep";
   EXPECT_GE(aborted, 1) << "branch budget never engaged; raise difficulty";
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic engine sweep: the same 10 random update streams the differential
+// harness fuzzes, replayed serially and across 1/2/4-thread pools, with and
+// without a per-update work budget. The pool parallelizes the candidate-
+// rebuild fan-outs and the packing sort; the budget's max_branch_nodes cap
+// is deterministic by design. So at every thread count the maintained
+// solution must be byte-identical after every update batch, and the
+// per-update abort outcomes must match the serial run exactly.
+
+struct StreamTrace {
+  std::vector<uint8_t> aborted;              // per update
+  std::vector<uint64_t> work;                // per update
+  std::vector<std::vector<std::vector<NodeId>>> snapshots;  // per batch
+  NodeId final_size = 0;
+};
+
+StreamTrace RunStream(const Graph& initial, const std::vector<UpdateOp>& ops,
+                      int k, ThreadPool* pool, uint64_t max_branch_nodes,
+                      int batch) {
+  DynamicOptions options;
+  options.k = k;
+  options.pool = pool;
+  options.update_budget.max_branch_nodes = max_branch_nodes;
+  auto solver = DynamicSolver::Build(initial, options);
+  EXPECT_TRUE(solver.ok()) << solver.status().ToString();
+  StreamTrace trace;
+  int step = 0;
+  for (const UpdateOp& op : ops) {
+    const Status status =
+        op.is_insert ? solver->InsertEdge(op.edge.first, op.edge.second)
+                     : solver->DeleteEdge(op.edge.first, op.edge.second);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    trace.aborted.push_back(solver->last_update_stats().aborted() ? 1 : 0);
+    trace.work.push_back(solver->last_update_stats().work);
+    if (++step % batch == 0) {
+      trace.snapshots.push_back(ToVectors(solver->Snapshot()));
+    }
+  }
+  trace.final_size = solver->solution_size();
+  std::string error;
+  EXPECT_TRUE(solver->CheckInvariants(&error)) << error;
+  return trace;
+}
+
+TEST(ThreadSweepTest, DynamicStreamsAreByteIdenticalAcrossThreadCounts) {
+  constexpr int kStreams = 10;
+  constexpr int kUpdatesPerStream = 220;
+  constexpr int kBatch = 20;
+  // Small enough that modest swap cascades hit it, large enough that most
+  // updates complete — both regimes must be exercised on every stream set.
+  constexpr uint64_t kUpdateWorkBudget = 8;
+  ThreadPool pool1(1), pool2(2), pool4(4);
+  ThreadPool* pools[] = {&pool1, &pool2, &pool4};
+
+  uint64_t budget_aborts = 0;
+  uint64_t budget_completions = 0;
+  for (int stream = 0; stream < kStreams; ++stream) {
+    SCOPED_TRACE("stream=" + std::to_string(stream));
+    Rng rng(7300 + static_cast<uint64_t>(stream) * 97);
+    const NodeId n = 80 + static_cast<NodeId>(stream % 3) * 10;
+    const double p = 0.10 + 0.02 * static_cast<double>(stream % 4);
+    const Graph initial = ErdosRenyi(n, p, rng).value();
+    const int k = 3 + stream % 2;
+    const auto ops = MakeChurnStream(initial, kUpdatesPerStream, rng);
+
+    for (uint64_t budget : {uint64_t{0}, kUpdateWorkBudget}) {
+      SCOPED_TRACE("budget=" + std::to_string(budget));
+      const StreamTrace serial =
+          RunStream(initial, ops, k, nullptr, budget, kBatch);
+      for (uint8_t aborted : serial.aborted) {
+        if (budget == 0) {
+          ASSERT_EQ(aborted, 0) << "unlimited budget aborted an update";
+        } else {
+          (aborted != 0 ? budget_aborts : budget_completions) += 1;
+        }
+      }
+      for (ThreadPool* pool : pools) {
+        SCOPED_TRACE("threads=" + std::to_string(pool->num_threads()));
+        const StreamTrace pooled =
+            RunStream(initial, ops, k, pool, budget, kBatch);
+        // Identical abort outcomes, update by update...
+        EXPECT_EQ(pooled.aborted, serial.aborted);
+        EXPECT_EQ(pooled.work, serial.work);
+        // ...and byte-identical solutions after every batch: same cliques,
+        // same order, same node order within each clique.
+        EXPECT_EQ(pooled.snapshots, serial.snapshots);
+        EXPECT_EQ(pooled.final_size, serial.final_size);
+      }
+    }
+  }
+  // The budgeted sweep must exercise both regimes or it proves nothing.
+  EXPECT_GE(budget_aborts, 10u) << "work budget never bit; lower it";
+  EXPECT_GE(budget_completions, 100u) << "work budget starves every update";
 }
 
 }  // namespace

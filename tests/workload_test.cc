@@ -98,5 +98,57 @@ TEST(MixedWorkloadTest, ClampsWhenGraphTooSmall) {
   EXPECT_EQ(w.ops.size(), g.num_edges());
 }
 
+TEST(ChurnStreamTest, OpsAreValidInReplayOrderAndDeterministic) {
+  Graph g = testing::RandomGraph(40, 0.15, /*seed=*/128);
+  Rng rng(9);
+  const auto ops = MakeChurnStream(g, 300, rng);
+  ASSERT_EQ(ops.size(), 300u);
+  // Replaying against a mirror must see every insert hit an absent pair
+  // and every delete hit a live edge — the generator's contract.
+  DynamicGraph dyn(g);
+  size_t inserts = 0;
+  for (const auto& op : ops) {
+    if (op.is_insert) {
+      EXPECT_TRUE(dyn.InsertEdge(op.edge.first, op.edge.second));
+      ++inserts;
+    } else {
+      EXPECT_TRUE(dyn.DeleteEdge(op.edge.first, op.edge.second));
+    }
+  }
+  EXPECT_GT(inserts, 0u);
+  EXPECT_LT(inserts, ops.size());
+  // Same rng state, same stream.
+  Rng replay(9);
+  const auto again = MakeChurnStream(g, 300, replay);
+  ASSERT_EQ(again.size(), ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(again[i].is_insert, ops[i].is_insert);
+    EXPECT_EQ(again[i].edge, ops[i].edge);
+  }
+}
+
+TEST(ChurnStreamTest, SaturatedMirrorForcesDeletionsInsteadOfSpinning) {
+  // 5 nodes = 10 possible edges; the 0.55 insert bias quickly saturates
+  // the mirror, which must flip to deletions instead of rejection-sampling
+  // forever for an absent pair.
+  Graph g = testing::RandomGraph(5, 0.5, /*seed=*/129);
+  Rng rng(11);
+  const auto ops = MakeChurnStream(g, 500, rng);
+  ASSERT_EQ(ops.size(), 500u);
+  DynamicGraph dyn(g);
+  for (const auto& op : ops) {
+    if (op.is_insert) {
+      ASSERT_TRUE(dyn.InsertEdge(op.edge.first, op.edge.second));
+    } else {
+      ASSERT_TRUE(dyn.DeleteEdge(op.edge.first, op.edge.second));
+    }
+  }
+}
+
+TEST(ChurnStreamTest, DegenerateGraphsYieldEmptyStreams) {
+  Rng rng(12);
+  EXPECT_TRUE(MakeChurnStream(Graph(), 10, rng).empty());
+}
+
 }  // namespace
 }  // namespace dkc

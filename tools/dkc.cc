@@ -10,12 +10,16 @@
 //       iterated residual cover (teaming rounds, paper intro)
 //   dkc match --file=edges.txt [--exact]
 //       maximum matching (the k=2 boundary case)
+//   dkc update --file=edges.txt --k=3 [--updates=2000] [--threads=4]
+//              [--update-budget-ms=x] [--update-branch-budget=n]
+//       dynamic maintenance over a synthetic mixed insert/delete stream,
+//       reporting per-update latency, swap activity, and budget aborts
 //
 // All subcommands also accept --ws=n,degree,beta to synthesize a
 // Watts-Strogatz graph instead of --file (handy without datasets), and
-// --threads=n to run the pool-parallel passes (stats counting and every
-// solve method) across n worker threads; solutions are byte-identical at
-// any thread count.
+// --threads=n to run the pool-parallel passes (stats counting, every
+// solve method, and the dynamic engine's per-update fan-outs) across n
+// worker threads; solutions are byte-identical at any thread count.
 
 #include <cstdio>
 #include <memory>
@@ -25,6 +29,8 @@
 #include "core/residual_cover.h"
 #include "core/solver.h"
 #include "core/verify.h"
+#include "dynamic/dynamic_solver.h"
+#include "dynamic/workload.h"
 #include "gen/generators.h"
 #include "graph/dag.h"
 #include "graph/ordering.h"
@@ -39,14 +45,17 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dkc <stats|solve|verify|cover|match> [flags]\n"
+               "usage: dkc <stats|solve|verify|cover|match|update> [flags]\n"
                "  --file=<edge list>  or  --ws=<n>,<degree>,<beta>\n"
-               "  --threads=<n>  worker pool for stats/solve (default 1)\n"
+               "  --threads=<n>  worker pool for stats/solve/update "
+               "(default 1)\n"
                "  solve:  --k=4 --method=HG|GC|L|LP|OPT [--out=path]\n"
                "  verify: --solution=path\n"
                "  cover:  --k=5 --min-k=3 [--pairs]\n"
                "  match:  [--exact]\n"
-               "  stats:  [--kmin=3 --kmax=6]\n");
+               "  stats:  [--kmin=3 --kmax=6]\n"
+               "  update: --k=3 [--updates=2000] [--update-budget-ms=x]\n"
+               "          [--update-branch-budget=n]\n");
   return 2;
 }
 
@@ -175,6 +184,78 @@ int RunCover(const dkc::Flags& flags, const dkc::Graph& g) {
   return 0;
 }
 
+int RunUpdate(const dkc::Flags& flags, const dkc::Graph& g) {
+  dkc::DynamicOptions options;
+  options.k = static_cast<int>(flags.GetInt("k", 3));
+  options.update_budget.time_ms = flags.GetDouble("update-budget-ms", 0);
+  options.update_budget.max_branch_nodes =
+      static_cast<uint64_t>(flags.GetInt("update-branch-budget", 0));
+  const auto pool = MakePool(flags);
+  options.pool = pool.get();
+
+  const size_t updates =
+      static_cast<size_t>(flags.GetInt("updates", 2000));
+  dkc::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0xD15C);
+  dkc::MixedWorkload workload =
+      dkc::MakeMixedWorkload(g, updates / 2, updates - updates / 2, rng);
+
+  dkc::Timer build_timer;
+  auto solver = dkc::DynamicSolver::Build(workload.prepared, options);
+  if (!solver.ok()) {
+    std::fprintf(stderr, "build: %s\n", solver.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built: |S|=%u, %llu candidates indexed in %.1f ms "
+              "(solve %.1f ms + index %.1f ms)\n",
+              solver->solution_size(),
+              static_cast<unsigned long long>(solver->index_size()),
+              build_timer.ElapsedMillis(), solver->build_stats().solve_ms,
+              solver->build_stats().index_ms);
+
+  dkc::Timer timer;
+  uint64_t total_work = 0;
+  for (const auto& op : workload.ops) {
+    const dkc::Status status =
+        op.is_insert ? solver->InsertEdge(op.edge.first, op.edge.second)
+                     : solver->DeleteEdge(op.edge.first, op.edge.second);
+    if (!status.ok()) {
+      std::fprintf(stderr, "update: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    total_work += solver->last_update_stats().work;
+  }
+  const double total_ms = timer.ElapsedMillis();
+  const auto& swaps = solver->lifetime_swap_stats();
+  std::printf("%zu updates in %.1f ms (%.0f ns/update, %.1f work "
+              "units/update)\n",
+              workload.ops.size(), total_ms,
+              workload.ops.empty()
+                  ? 0.0
+                  : 1e6 * total_ms / static_cast<double>(workload.ops.size()),
+              workload.ops.empty() ? 0.0
+                                   : static_cast<double>(total_work) /
+                                         static_cast<double>(workload.ops.size()));
+  std::printf("swaps: %llu pops, %llu commits, %llu cliques gained; "
+              "%llu budget aborts\n",
+              static_cast<unsigned long long>(swaps.pops),
+              static_cast<unsigned long long>(swaps.commits),
+              static_cast<unsigned long long>(swaps.cliques_gained),
+              static_cast<unsigned long long>(solver->aborted_updates()));
+  std::printf("final |S|=%u, %llu candidates indexed, %.1f MiB\n",
+              solver->solution_size(),
+              static_cast<unsigned long long>(solver->index_size()),
+              static_cast<double>(solver->MemoryBytes()) / (1 << 20));
+
+  const dkc::Status valid =
+      dkc::VerifySolution(solver->graph().ToGraph(), solver->Snapshot());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "internal error, invalid solution: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int RunMatch(const dkc::Flags& flags, const dkc::Graph& g) {
   dkc::Timer timer;
   const bool exact = flags.GetBool("exact", false);
@@ -205,5 +286,6 @@ int main(int argc, char** argv) {
   if (command == "verify") return RunVerify(flags, *graph);
   if (command == "cover") return RunCover(flags, *graph);
   if (command == "match") return RunMatch(flags, *graph);
+  if (command == "update") return RunUpdate(flags, *graph);
   return Usage();
 }

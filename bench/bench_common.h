@@ -9,6 +9,9 @@
 //   --gc-mem-mb=<mb> memory budget for clique-storing methods (GC/OPT)
 //   --opt-ms=<ms>    time budget for the exact baseline
 //   --kmin/--kmax    k range (default 3..6, as in the paper)
+//   --no-preprocess  disable the graph-shrinking preprocessing pipeline
+//                    (solutions are byte-identical either way; this toggles
+//                    the perf path so CI keeps both green)
 //   --smoke          CI mode: shrink scale/budgets/k so the harness
 //                    finishes in seconds and merely proves it still runs
 
@@ -34,6 +37,7 @@ struct BenchConfig {
   int kmin = 3;
   int kmax = 6;
   bool smoke = false;         // CI smoke mode: tiny scale, tight budgets
+  bool preprocess = true;     // graph-shrinking pipeline (default on)
 
   static BenchConfig FromFlags(const Flags& flags) {
     BenchConfig config;
@@ -44,6 +48,7 @@ struct BenchConfig {
     config.kmin = static_cast<int>(flags.GetInt("kmin", config.kmin));
     config.kmax = static_cast<int>(flags.GetInt("kmax", config.kmax));
     config.smoke = flags.GetBool("smoke", false);
+    config.preprocess = !flags.GetBool("no-preprocess", false);
     if (config.smoke) {
       // Keep the harness exercised in CI without paying table-scale cost:
       // every dataset shrinks ~10x and budgets drop so a wedged solver
@@ -80,6 +85,7 @@ inline Cell RunMethod(const Graph& g, Method method, int k,
   SolverOptions options;
   options.k = k;
   options.method = method;
+  options.preprocess = config.preprocess;
   options.budget.time_ms =
       method == Method::kOPT ? config.opt_ms : config.budget_ms;
   if (method == Method::kGC || method == Method::kOPT) {

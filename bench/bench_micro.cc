@@ -14,12 +14,28 @@
 #include "gen/generators.h"
 #include "graph/dag.h"
 #include "graph/ordering.h"
+#include "graph/preprocess.h"
 
 namespace {
 
 dkc::Graph MakeWs(dkc::NodeId n, dkc::Count degree) {
   dkc::Rng rng(0xBE7C);
   return std::move(dkc::WattsStrogatz(n, degree, 0.1, rng)).value();
+}
+
+// The sparse-social shape the preprocessing pipeline targets: a few
+// hundred planted k-cliques (the "teams") inside a large low-degree
+// periphery (a random tree) — most nodes touch no k-clique, exactly the
+// regime the paper's real datasets live in. Dense WS (MakeWs) is the
+// other pole: clustered, clique-rich, barely prunable.
+dkc::Graph MakeSparseSocial(int k) {
+  dkc::PlantedCliqueSpec spec;
+  spec.num_cliques = 300;
+  spec.k = k;
+  spec.filler_nodes = 40000;
+  spec.noise_p = 0.0;
+  dkc::Rng rng(0xAB);
+  return std::move(std::move(dkc::PlantedCliques(spec, rng)).value().graph);
 }
 
 void BM_IntersectSorted(benchmark::State& state) {
@@ -37,6 +53,52 @@ void BM_IntersectSorted(benchmark::State& state) {
                           static_cast<int64_t>(2 * size));
 }
 BENCHMARK(BM_IntersectSorted)->Arg(16)->Arg(256)->Arg(4096);
+
+// Random interleaving — real adjacency rows, unlike the strided inputs
+// above, give the comparison branches no pattern to predict. One shared
+// generator keeps the branchy/branch-free A/B below on byte-identical
+// inputs.
+void MakeRandomInterleaved(size_t size, std::vector<dkc::NodeId>* a,
+                           std::vector<dkc::NodeId>* b) {
+  dkc::Rng rng(0x5EED);
+  dkc::NodeId next = 0;
+  while (a->size() < size || b->size() < size) {
+    next += 1 + static_cast<dkc::NodeId>(rng.NextBounded(3));
+    const uint64_t pick = rng.NextBounded(3);
+    if (pick != 1 && a->size() < size) a->push_back(next);
+    if (pick != 0 && b->size() < size) b->push_back(next);
+  }
+}
+
+void BM_IntersectSortedRandom(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::vector<dkc::NodeId> a, b, out;
+  MakeRandomInterleaved(size, &a, &b);
+  for (auto _ : state) {
+    dkc::IntersectSorted(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * size));
+}
+BENCHMARK(BM_IntersectSortedRandom)->Arg(16)->Arg(256)->Arg(4096);
+
+// A/B side of the DKC_BRANCHFREE_MERGE toggle: the branch-free merge on
+// the same random interleavings, benchmarked directly so every build
+// records both implementations (the default build's IntersectSorted is
+// the branchy merge).
+void BM_IntersectSortedBranchFree(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::vector<dkc::NodeId> a, b, out;
+  MakeRandomInterleaved(size, &a, &b);
+  for (auto _ : state) {
+    dkc::IntersectSortedBranchFree(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * size));
+}
+BENCHMARK(BM_IntersectSortedBranchFree)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_DegeneracyOrdering(benchmark::State& state) {
   dkc::Graph g = MakeWs(static_cast<dkc::NodeId>(state.range(0)), 16);
@@ -129,6 +191,90 @@ void BM_BasicSolveThreads(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BasicSolveThreads)->Args({4, 1})->Args({4, 4});
+
+// The preprocessing pipeline itself ((k-1)-core + triangle-support
+// fixpoint + compaction). Args are {k, sparse}: sparse == 1 runs the
+// prunable sparse-social instance (the win case), sparse == 0 the dense
+// WS graph (the overhead case — nothing peels, ~10% of edges drop).
+void BM_Preprocess(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  dkc::Graph g = state.range(1) != 0 ? MakeSparseSocial(k) : MakeWs(2000, 16);
+  dkc::PreprocessOptions options;
+  options.k = k;
+  for (auto _ : state) {
+    auto result = dkc::PreprocessForKCliques(g, options);
+    benchmark::DoNotOptimize(result.pruned.num_nodes());
+  }
+}
+BENCHMARK(BM_Preprocess)->Args({4, 0})->Args({6, 0})->Args({4, 1})->Args({6, 1});
+
+// End-to-end LP solve through the Solve() facade on the sparse-social
+// instance; args are {k, preprocess}. The preprocessed run includes the
+// whole pipeline and produces the byte-identical solution (default
+// order-preserving mode) — the shrink is what pays.
+void BM_LightweightSolvePrepruned(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  dkc::Graph g = MakeSparseSocial(k);
+  dkc::SolverOptions options;
+  options.k = k;
+  options.method = dkc::Method::kLP;
+  options.preprocess = state.range(1) != 0;
+  for (auto _ : state) {
+    auto result = dkc::Solve(g, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_LightweightSolvePrepruned)
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
+
+// End-to-end k-clique counting on the sparse-social instance; args are
+// {k, preprocess}. Counts are a pure function of the graph (no ordering
+// dependence), so the preprocessed run uses reorder mode and skips the
+// full-graph degeneracy pass the order-preserving mode would need.
+void BM_CountKCliquesPrepruned(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  dkc::Graph g = MakeSparseSocial(k);
+  const bool preprocess = state.range(1) != 0;
+  dkc::PreprocessOptions options;
+  options.k = k;
+  options.reorder = true;
+  for (auto _ : state) {
+    if (preprocess) {
+      auto pre = dkc::PreprocessForKCliques(g, options);
+      dkc::Dag dag(pre.pruned, std::move(pre.orientation));
+      benchmark::DoNotOptimize(dkc::CountKCliques(dag, k));
+    } else {
+      dkc::Dag dag(g, dkc::DegeneracyOrdering(g));
+      benchmark::DoNotOptimize(dkc::CountKCliques(dag, k));
+    }
+  }
+}
+BENCHMARK(BM_CountKCliquesPrepruned)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({6, 0})
+    ->Args({6, 1});
+
+// End-to-end HG through the facade on the sparse-social instance; args
+// are {k, preprocess}. HG's sweep is first-hit and skips low-out-degree
+// roots already, so preprocessing trades its pipeline for the full-graph
+// DAG build — record both sides of that trade.
+void BM_BasicSolvePrepruned(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  dkc::Graph g = MakeSparseSocial(k);
+  dkc::SolverOptions options;
+  options.k = k;
+  options.method = dkc::Method::kHG;
+  options.preprocess = state.range(1) != 0;
+  for (auto _ : state) {
+    auto result = dkc::Solve(g, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_BasicSolvePrepruned)->Args({4, 0})->Args({4, 1});
 
 void BM_DynamicUpdate(benchmark::State& state) {
   dkc::Graph g = MakeWs(2000, 12);

@@ -85,18 +85,24 @@ NodeScores ComputeNodeScores(const Dag& dag, int k, ThreadPool* pool,
 void ForEachKCliqueInSubset(
     const DynamicGraph& g, std::span<const NodeId> subset, int k,
     const std::function<bool(std::span<const NodeId>)>& cb,
-    NeighborhoodKernel* kernel) {
+    NeighborhoodKernel* kernel, EnumBudget* budget) {
   if (subset.size() < static_cast<size_t>(k)) return;
+  auto run = [&](NeighborhoodKernel* active) {
+    active->BuildFromSubset(g, subset);
+    if (budget != nullptr) {
+      active->ForEachCliqueBudgeted(k, cb, budget);
+    } else {
+      active->ForEachClique(k, cb);
+    }
+  };
   if (kernel != nullptr) {
-    kernel->BuildFromSubset(g, subset);
-    kernel->ForEachClique(k, cb);
+    run(kernel);
     return;
   }
   // Fallback kernel (and its arena allocation) only when the caller has no
   // persistent one — the dynamic engine's per-update path always does.
   NeighborhoodKernel local;
-  local.BuildFromSubset(g, subset);
-  local.ForEachClique(k, cb);
+  run(&local);
 }
 
 namespace {

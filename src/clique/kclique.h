@@ -101,11 +101,13 @@ NodeScores ComputeNodeScores(const Dag& dag, int k, ThreadPool* pool = nullptr,
 /// Used by the dynamic index (Algorithm 5), where B = C ∪ free neighbors is
 /// tiny. `cb` returns false to stop early. Callers on a hot path pass a
 /// persistent `kernel` so the scratch arena is reused across calls; when
-/// null a throwaway kernel is used.
+/// null a throwaway kernel is used. With `budget`, the DFS charges one
+/// unit per branch entered and truncates at a branch boundary once the cap
+/// is spent (see EnumBudget) — the dynamic engine's mid-rebuild abort.
 void ForEachKCliqueInSubset(
     const DynamicGraph& g, std::span<const NodeId> subset, int k,
     const std::function<bool(std::span<const NodeId>)>& cb,
-    NeighborhoodKernel* kernel = nullptr);
+    NeighborhoodKernel* kernel = nullptr, EnumBudget* budget = nullptr);
 
 /// Materialize every k-clique of the DAG'ed graph into `store` — and, when
 /// `node_scores` is given, bump each member's participation count — in the

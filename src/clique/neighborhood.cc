@@ -33,6 +33,31 @@ void IntersectGalloping(std::span<const NodeId> small,
 
 }  // namespace
 
+void IntersectSortedBranchFree(std::span<const NodeId> a,
+                               std::span<const NodeId> b,
+                               std::vector<NodeId>* out) {
+  // Every iteration unconditionally writes the smaller head and advances
+  // by comparison masks; the write cursor moves only on a match. No
+  // data-dependent branches — but each iteration's loads depend on the
+  // previous advance, a serial chain the branchy merge's speculation
+  // overlaps (see the header note for the measured outcome).
+  out->clear();
+  if (a.size() > b.size()) std::swap(a, b);
+  out->resize(a.size());
+  NodeId* write = out->data();
+  size_t o = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const NodeId x = a[i];
+    const NodeId y = b[j];
+    write[o] = x;
+    o += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  out->resize(o);
+}
+
 void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
                      std::vector<NodeId>* out) {
   out->clear();
@@ -41,6 +66,9 @@ void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
     IntersectGalloping(a, b, out);
     return;
   }
+#if defined(DKC_BRANCHFREE_MERGE) && !defined(DKC_PORTABLE)
+  IntersectSortedBranchFree(a, b, out);
+#else
   // Degeneracy-bounded DAG out-lists are near-equal in size, so the plain
   // merge is the common case; galloping only pays at extreme skew.
   size_t i = 0, j = 0;
@@ -55,6 +83,7 @@ void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
       ++j;
     }
   }
+#endif
 }
 
 void NeighborhoodKernel::PrepareMap(NodeId num_nodes) {

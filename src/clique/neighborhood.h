@@ -91,8 +91,44 @@ namespace dkc {
 void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
                      std::vector<NodeId>* out);
 
+/// The explicit branch-free variant of IntersectSorted's merge fallback:
+/// every loop iteration unconditionally writes the smaller head and
+/// advances by comparison masks, so the body carries no data-dependent
+/// branches (the candidate fix for the merge path's ±30% run-to-run
+/// layout sensitivity at n=4096). Measured on the dev host it LOSES
+/// 2-3.5x to the branchy merge even on random interleavings — branch
+/// speculation overlaps the loads the branch-free chain serializes — so
+/// IntersectSorted uses it only when built with -DDKC_BRANCHFREE_MERGE=ON
+/// (which DKC_PORTABLE overrides back to the plain merge). Exposed
+/// unconditionally so the crossover tests and bench_micro's A/B cover
+/// both implementations in every configuration.
+void IntersectSortedBranchFree(std::span<const NodeId> a,
+                               std::span<const NodeId> b,
+                               std::vector<NodeId>* out);
+
 /// Size ratio at which IntersectSorted switches from merging to galloping.
 inline constexpr size_t kGallopSkew = 32;
+
+/// Deterministic budget for charged enumerations: one unit per DFS branch
+/// entered (the visitor Enter hook). With `cap != 0`, an Enter attempt
+/// once `used >= cap` is refused and `cut` latches; every later branch is
+/// refused the same way, so no clique is emitted past the cut — the
+/// traversal is truncated at a branch boundary whose position depends only
+/// on the universe and the budget, never on scheduling or the clock.
+///
+/// `emit_used`, when non-null, records the `used` value at each emitted
+/// clique. An *unbudgeted* run (cap == 0) recording emit_used lets a
+/// caller replay a budget afterwards: the budgeted run would have emitted
+/// exactly the cliques whose recorded value is <= the budget's headroom,
+/// charged min(total used, headroom), and cut iff total used exceeds it —
+/// how the dynamic engine's pooled rebuild fan-out stays byte-identical to
+/// its serial path.
+struct EnumBudget {
+  uint64_t used = 0;
+  uint64_t cap = 0;  // 0 = unlimited
+  bool cut = false;
+  std::vector<uint64_t>* emit_used = nullptr;
+};
 
 /// Flat scratch buffers shared by every per-root build of one worker.
 /// Buffers only ever grow; reusing one arena across roots (and across the
@@ -208,6 +244,21 @@ class NeighborhoodKernel {
     return Visit(q, visitor, eager);
   }
 
+  /// ForEachClique under an EnumBudget: each branch Enter charges one unit
+  /// of `budget->used`, refused once the cap is spent (see EnumBudget).
+  /// Emitted cliques and their order are a prefix-by-budget of the
+  /// unbudgeted enumeration. Returns false iff `cb` stopped the traversal
+  /// (a budget cut is reported through budget->cut, not the return value).
+  template <typename F>
+  bool ForEachCliqueBudgeted(int q, F&& cb, EnumBudget* budget) {
+    a_->emit.clear();
+    if (has_root_) a_->emit.push_back(root_);
+    ChargedEmitVisitor<std::remove_reference_t<F>> visitor{&a_->emit, uni_,
+                                                           &cb, budget};
+    Visit(q, visitor);
+    return !visitor.stopped;
+  }
+
  private:
   static constexpr NodeId kNoLocal = kInvalidNode;
 
@@ -227,6 +278,44 @@ class NeighborhoodKernel {
       emit->push_back(local_nodes[i]);
       const bool keep_going = (*callback)(std::span<const NodeId>(*emit));
       emit->pop_back();
+      return keep_going;
+    }
+  };
+
+  // EmitVisitor under an EnumBudget: Enter charges one unit and is refused
+  // once the cap is spent (the cut latches; every later Enter is refused
+  // too, so the remaining traversal degenerates to cheap refusals and no
+  // further clique can be emitted). Budget refusals and `cb` stops are
+  // distinguished through `stopped` so the caller can keep ForEachClique's
+  // return-value contract.
+  template <typename F>
+  struct ChargedEmitVisitor {
+    static constexpr bool kLeafIterates = true;
+    std::vector<NodeId>* emit;
+    const NodeId* local_nodes;
+    F* callback;
+    EnumBudget* budget;
+    bool stopped = false;  // cb returned false (not a budget cut)
+    bool Enter(NodeId i) {
+      if (budget->cap != 0 && budget->used >= budget->cap) {
+        budget->cut = true;
+        return false;
+      }
+      ++budget->used;
+      emit->push_back(local_nodes[i]);
+      return true;
+    }
+    void Exit(NodeId) { emit->pop_back(); }
+    bool LeafCount(Count) { return !budget->cut; }
+    bool LeafId(NodeId i) {
+      if (budget->cut) return false;
+      if (budget->emit_used != nullptr) {
+        budget->emit_used->push_back(budget->used);
+      }
+      emit->push_back(local_nodes[i]);
+      const bool keep_going = (*callback)(std::span<const NodeId>(*emit));
+      emit->pop_back();
+      if (!keep_going) stopped = true;
       return keep_going;
     }
   };

@@ -63,7 +63,8 @@ StatusOr<SolveResult> SolveBasic(const Graph& g, const BasicOptions& options) {
   Timer timer;
   SolveResult result(options.k);
 
-  Dag dag(g, MakeOrdering(g, options.order));
+  Dag dag(g, options.orientation != nullptr ? *options.orientation
+                                            : MakeOrdering(g, options.order));
   std::vector<uint8_t> valid(g.num_nodes(), 1);
   result.stats.init_ms = timer.ElapsedMillis();
   timer.Restart();

@@ -27,6 +27,11 @@ enum class NodeOrderKind {
 struct BasicOptions {
   int k = 3;
   NodeOrderKind order = NodeOrderKind::kDegeneracy;
+  /// When non-null, orients the DAG with this precomputed total order
+  /// instead of computing one from `order` — how the Solve() facade keeps a
+  /// preprocessed run's sweep order identical to the unpruned graph's.
+  /// Must order exactly g.num_nodes() nodes and outlive the call.
+  const Ordering* orientation = nullptr;
   Budget budget;
   /// Optional pool for the FindOne sweep. The sweep is speculative: a batch
   /// of roots is searched in parallel against a snapshot of the validity

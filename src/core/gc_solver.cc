@@ -27,7 +27,8 @@ StatusOr<SolveResult> SolveGc(const Graph& g, const GcOptions& options) {
   // Line 2: store all k-cliques and compute node scores. One enumeration
   // pass fills both (pool-parallel with a deterministic ordered reduction);
   // the store is the memory hazard the budget guards.
-  Dag dag(g, DegeneracyOrdering(g));
+  Dag dag(g, options.orientation != nullptr ? *options.orientation
+                                            : DegeneracyOrdering(g));
   CliqueStore all(options.k);
   std::vector<Count> node_scores(g.num_nodes(), 0);
   {

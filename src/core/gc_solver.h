@@ -11,12 +11,17 @@
 
 #include "core/types.h"
 #include "graph/graph.h"
+#include "graph/ordering.h"
 #include "util/status.h"
 
 namespace dkc {
 
 struct GcOptions {
   int k = 3;
+  /// When non-null, orients the listing DAG with this precomputed order
+  /// instead of recomputing the degeneracy order (preprocessing plumbing;
+  /// see BasicOptions::orientation). Must outlive the call.
+  const Ordering* orientation = nullptr;
   Budget budget;
   /// Optional pool for the enumeration pass (line 2). The stored clique
   /// order — and therefore the (score, id) selection order and the final

@@ -94,7 +94,9 @@ StatusOr<SolveResult> SolveLightweight(const Graph& g,
   bool oot = false;
   NodeScores scores;
   {
-    Dag counting_dag(g, DegeneracyOrdering(g));
+    Dag counting_dag(g, options.orientation != nullptr
+                            ? *options.orientation
+                            : DegeneracyOrdering(g));
     scores = ComputeNodeScores(counting_dag, options.k, options.pool, deadline,
                                &oot);
   }

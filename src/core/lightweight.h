@@ -21,6 +21,7 @@
 
 #include "core/types.h"
 #include "graph/graph.h"
+#include "graph/ordering.h"
 #include "util/status.h"
 
 namespace dkc {
@@ -30,6 +31,11 @@ struct LightweightOptions {
   /// false => "L", true => "LP". Results are identical; only FindMin's
   /// search-tree size differs.
   bool enable_score_pruning = true;
+  /// When non-null, orients the *counting* DAG (line 2) with this
+  /// precomputed order instead of recomputing the degeneracy order — a
+  /// speed knob only: node scores, and hence the score-ascending solve
+  /// order and the solution, do not depend on it. Must outlive the call.
+  const Ordering* orientation = nullptr;
   Budget budget;
   /// Optional pool for the scoring pass and HeapInit (both "in parallel" in
   /// the paper's pseudocode).

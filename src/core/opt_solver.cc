@@ -26,7 +26,8 @@ StatusOr<SolveResult> SolveOpt(const Graph& g, const OptOptions& options) {
 
   // Step 1: all k-cliques, materialized (pool-parallel with a deterministic
   // ordered reduction, so clique ids match the serial enumeration exactly).
-  Dag dag(g, DegeneracyOrdering(g));
+  Dag dag(g, options.orientation != nullptr ? *options.orientation
+                                            : DegeneracyOrdering(g));
   CliqueStore all(options.k);
   {
     const Status listed = ListKCliques(dag, options.k, options.pool, deadline,

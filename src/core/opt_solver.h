@@ -9,12 +9,17 @@
 
 #include "core/types.h"
 #include "graph/graph.h"
+#include "graph/ordering.h"
 #include "util/status.h"
 
 namespace dkc {
 
 struct OptOptions {
   int k = 3;
+  /// When non-null, orients the listing DAG with this precomputed order
+  /// instead of recomputing the degeneracy order (preprocessing plumbing;
+  /// see BasicOptions::orientation). Must outlive the call.
+  const Ordering* orientation = nullptr;
   /// budget.max_branch_nodes caps the exact-MIS branch nodes; see Budget.
   Budget budget;
   /// Optional pool: parallel clique enumeration (deterministic ordered

@@ -7,6 +7,7 @@
 
 #include "clique/clique_store.h"
 #include "graph/graph.h"
+#include "graph/preprocess.h"
 #include "util/thread_pool.h"
 
 namespace dkc {
@@ -34,6 +35,11 @@ struct SolveResult {
 
   CliqueStore set;
   SolveStats stats;
+
+  /// Graph-shrinking accounting when the Solve() facade ran the
+  /// preprocessing pipeline (nodes_before == 0 otherwise). Solution node
+  /// ids are always reported in the caller's original id space.
+  PreprocessStats preprocess;
 
   NodeId size() const { return set.size(); }
 };

@@ -143,7 +143,7 @@ void SolutionState::MaybeCompactNodeCands() {
 
 void SolutionState::EnumerateCandidatesFor(
     uint32_t slot, std::vector<std::vector<NodeId>>* out,
-    NeighborhoodKernel* kernel) const {
+    NeighborhoodKernel* kernel, EnumBudget* budget) const {
   out->clear();
   const SolClique& clique = cliques_[slot];
   // B = C ∪ N_F(C): the clique's nodes plus their free neighbors. Any
@@ -160,6 +160,15 @@ void SolutionState::EnumerateCandidatesFor(
 
   ForEachKCliqueInSubset(
       graph_, b, k_, [&](std::span<const NodeId> nodes) {
+        // Recording mode tracks *candidates*, not raw cliques: drop the
+        // charge point of a clique rejected below so emit_used stays
+        // parallel to `out`.
+        auto reject = [&] {
+          if (budget != nullptr && budget->emit_used != nullptr) {
+            budget->emit_used->pop_back();
+          }
+          return true;
+        };
         int in_c = 0;
         int free_nodes = 0;
         for (NodeId u : nodes) {
@@ -168,22 +177,36 @@ void SolutionState::EnumerateCandidatesFor(
           } else if (node_to_clique_[u] == kNoClique) {
             ++free_nodes;
           } else {
-            return true;  // touches another solution clique: not a candidate
+            return reject();  // touches another solution clique
           }
         }
         // in_c == k would be C itself; free == k would contradict the
         // maximality the engine maintains, but guard anyway.
-        if (in_c >= 1 && free_nodes >= 1) {
-          out->emplace_back(nodes.begin(), nodes.end());
-        }
+        if (in_c < 1 || free_nodes < 1) return reject();
+        out->emplace_back(nodes.begin(), nodes.end());
         return true;
       },
-      kernel);
+      kernel, budget);
 }
 
-size_t SolutionState::RebuildCandidatesFor(uint32_t slot) {
-  return RebuildCandidatesFor(slot, kInvalidNode, kInvalidNode).candidates;
+size_t SolutionState::RebuildCandidatesFor(uint32_t slot, UpdateWork* meter) {
+  return RebuildCandidatesFor(slot, kInvalidNode, kInvalidNode, meter)
+      .candidates;
 }
+
+namespace {
+
+// Seeds the DFS budget for one serial rebuild: the enumeration continues
+// charging where the update's meter left off, against its deterministic
+// work cap (never the wall clock — see update_work.h).
+EnumBudget BudgetFromMeter(const UpdateWork& meter) {
+  EnumBudget budget;
+  budget.used = meter.work;
+  budget.cap = meter.max_work;
+  return budget;
+}
+
+}  // namespace
 
 void SolutionState::KillOwnedCandidates(uint32_t slot) {
   assert(SlotAlive(slot));
@@ -195,12 +218,20 @@ void SolutionState::KillOwnedCandidates(uint32_t slot) {
 }
 
 SolutionState::RebuildOutcome SolutionState::RebuildCandidatesFor(
-    uint32_t slot, NodeId u, NodeId v) {
+    uint32_t slot, NodeId u, NodeId v, UpdateWork* meter) {
   KillOwnedCandidates(slot);
 
   RebuildOutcome outcome;
   std::vector<std::vector<NodeId>> found;
-  EnumerateCandidatesFor(slot, &found, &subset_kernel_);
+  if (meter != nullptr) {
+    meter->Charge(1);  // the rebuild unit; DFS branches charge inside
+    EnumBudget budget = BudgetFromMeter(*meter);
+    EnumerateCandidatesFor(slot, &found, &subset_kernel_, &budget);
+    meter->work = budget.used;
+    if (budget.cut) ++meter->rebuild_cuts;
+  } else {
+    EnumerateCandidatesFor(slot, &found, &subset_kernel_);
+  }
   for (const auto& nodes : found) {
     RegisterCandidate(nodes, slot);
     if (u != kInvalidNode && !outcome.has_edge) {
@@ -214,22 +245,18 @@ SolutionState::RebuildOutcome SolutionState::RebuildCandidatesFor(
   return outcome;
 }
 
-// Minimum batch size before a rebuild fans out across the pool. Each
-// fan-out pays one Submit/Wait round trip plus a worker-private kernel per
-// thread, which swamps the microsecond-scale enumerations of the 2-3-slot
-// batches typical per update — those stay serial. The threshold changes
-// only scheduling, never results (both paths are byte-identical), so it is
-// free to tune on a multi-core host (see ROADMAP).
-constexpr size_t kParallelRebuildMinSlots = 4;
-
 void SolutionState::RebuildCandidatesForMany(std::span<const uint32_t> slots,
                                              ThreadPool* pool,
-                                             std::vector<size_t>* counts) {
+                                             std::vector<size_t>* counts,
+                                             UpdateWork* meter) {
   if (counts != nullptr) counts->assign(slots.size(), 0);
+  // The fan-out gate (see set_parallel_rebuild_min_slots) changes only
+  // scheduling, never results: both paths are byte-identical, including
+  // budgeted outcomes.
   if (pool == nullptr || pool->num_threads() <= 1 ||
-      slots.size() < kParallelRebuildMinSlots) {
+      slots.size() < parallel_rebuild_min_slots_) {
     for (size_t i = 0; i < slots.size(); ++i) {
-      const size_t n = RebuildCandidatesFor(slots[i]);
+      const size_t n = RebuildCandidatesFor(slots[i], meter);
       if (counts != nullptr) (*counts)[i] = n;
     }
     return;
@@ -239,21 +266,58 @@ void SolutionState::RebuildCandidatesForMany(std::span<const uint32_t> slots,
   // cursor) and registering serially afterwards in `slots` order yields
   // exactly the serial loop's candidates in exactly its registration
   // order. The shared subset_kernel_ is only for the serial path.
+  //
+  // Under a meter the workers enumerate speculatively (unbudgeted, with
+  // per-candidate charge points recorded) and the serial registration loop
+  // replays the charges: a budgeted serial DFS would have emitted exactly
+  // the candidates whose charge point fits the remaining headroom, charged
+  // min(total, headroom) branch units, and cut iff the total exceeds it —
+  // so work, cuts, and the registered set match the serial path exactly,
+  // at any thread count (overshoot enumeration work is wasted, never
+  // observable).
   std::vector<std::vector<std::vector<NodeId>>> found(slots.size());
+  std::vector<std::vector<uint64_t>> charge_points(slots.size());
+  std::vector<uint64_t> total_used(slots.size(), 0);
   std::atomic<size_t> cursor{0};
+  const bool metered = meter != nullptr;
   pool->RunPerWorker([&](size_t) {
     NeighborhoodKernel kernel;
     for (;;) {
       const size_t i = cursor.fetch_add(1);
       if (i >= slots.size()) break;
-      EnumerateCandidatesFor(slots[i], &found[i], &kernel);
+      if (metered) {
+        EnumBudget recorder;  // unlimited; counts branches per slot
+        recorder.emit_used = &charge_points[i];
+        EnumerateCandidatesFor(slots[i], &found[i], &kernel, &recorder);
+        total_used[i] = recorder.used;
+      } else {
+        EnumerateCandidatesFor(slots[i], &found[i], &kernel);
+      }
     }
   });
   for (size_t i = 0; i < slots.size(); ++i) {
     const uint32_t slot = slots[i];
     KillOwnedCandidates(slot);
-    for (const auto& nodes : found[i]) RegisterCandidate(nodes, slot);
-    if (counts != nullptr) (*counts)[i] = found[i].size();
+    size_t registered = 0;
+    if (metered) {
+      meter->Charge(1);  // the rebuild unit, as in the serial path
+      const uint64_t headroom =
+          meter->max_work == 0
+              ? UINT64_MAX
+              : (meter->max_work > meter->work ? meter->max_work - meter->work
+                                               : 0);
+      for (size_t c = 0; c < found[i].size(); ++c) {
+        if (charge_points[i][c] > headroom) break;  // charge points ascend
+        RegisterCandidate(found[i][c], slot);
+        ++registered;
+      }
+      meter->work += std::min(total_used[i], headroom);
+      if (total_used[i] > headroom) ++meter->rebuild_cuts;
+    } else {
+      for (const auto& nodes : found[i]) RegisterCandidate(nodes, slot);
+      registered = found[i].size();
+    }
+    if (counts != nullptr) (*counts)[i] = registered;
   }
   MaybeCompactNodeCands();
 }

@@ -25,6 +25,7 @@
 
 #include "clique/clique_store.h"
 #include "clique/neighborhood.h"
+#include "dynamic/update_work.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "util/thread_pool.h"
@@ -87,7 +88,15 @@ class SolutionState {
   /// Algorithm 5 for one clique: drop its current candidates and
   /// re-enumerate the k-cliques on B = C ∪ N_F(C), registering the valid
   /// ones. Returns the number of alive candidates afterwards.
-  size_t RebuildCandidatesFor(uint32_t slot);
+  ///
+  /// With `meter`, the rebuild charges one unit plus one per branch node
+  /// the subset-enumeration DFS enters, and the enumeration is truncated
+  /// at a DFS branch boundary once the deterministic work cap is spent
+  /// (meter->rebuild_cuts records it). A cut rebuild registers only the
+  /// candidates found before the cut: each is valid, but the slot's set
+  /// may be incomplete until its next rebuild — the documented trade for
+  /// bounding a single huge neighborhood rebuild (see update_work.h).
+  size_t RebuildCandidatesFor(uint32_t slot, UpdateWork* meter = nullptr);
 
   /// As above, additionally reporting whether any registered candidate
   /// contains both `u` and `v` — the new-edge detection InsertEdge's
@@ -97,20 +106,39 @@ class SolutionState {
     size_t candidates = 0;
     bool has_edge = false;
   };
-  RebuildOutcome RebuildCandidatesFor(uint32_t slot, NodeId u, NodeId v);
+  RebuildOutcome RebuildCandidatesFor(uint32_t slot, NodeId u, NodeId v,
+                                      UpdateWork* meter = nullptr);
 
   /// Rebuild several slots (each alive, no duplicates), optionally fanning
   /// the read-only enumeration across `pool` with worker-private kernels;
   /// registration stays serial in `slots` order, so candidates, their
   /// registration order, and hence every downstream tie-break are
   /// byte-identical to calling RebuildCandidatesFor per slot. Fills
-  /// `counts` (when non-null) with the per-slot candidate counts.
+  /// `counts` (when non-null) with the per-slot candidate counts. The
+  /// pooled fan-out enumerates speculatively without the meter and then
+  /// replays the charges serially in `slots` order (truncating exactly
+  /// where the serial DFS would have cut), so budgeted outcomes — work,
+  /// cuts, registered candidates — are byte-identical at any thread count.
   void RebuildCandidatesForMany(std::span<const uint32_t> slots,
-                                ThreadPool* pool,
-                                std::vector<size_t>* counts);
+                                ThreadPool* pool, std::vector<size_t>* counts,
+                                UpdateWork* meter = nullptr);
 
-  /// Algorithm 5 for the whole solution, optionally in parallel.
+  /// Algorithm 5 for the whole solution, optionally in parallel (never
+  /// budgeted: the initial index build must be complete).
   void RebuildAllCandidates(ThreadPool* pool = nullptr);
+
+  /// Minimum batch size before RebuildCandidatesForMany fans out across a
+  /// pool (default 8): each fan-out pays one Submit/Wait round trip plus a
+  /// worker-private kernel per thread, which swamps the microsecond-scale
+  /// enumerations of the 2-3-slot batches typical per update. Scheduling
+  /// only — results are byte-identical either way (DynamicOptions plumbs
+  /// this through as parallel_rebuild_min_slots).
+  void set_parallel_rebuild_min_slots(size_t min_slots) {
+    parallel_rebuild_min_slots_ = min_slots;
+  }
+  size_t parallel_rebuild_min_slots() const {
+    return parallel_rebuild_min_slots_;
+  }
 
   /// Kill every candidate whose clique uses edge (u, v) — edge-deletion
   /// maintenance. Returns how many died.
@@ -189,10 +217,13 @@ class SolutionState {
   // Enumerates valid candidates for `slot` into `out` without mutating the
   // index, driving the subset DFS through `kernel` (callers on the serial
   // per-update path pass `&subset_kernel_`; the parallel whole-solution
-  // rebuild passes worker-private kernels).
+  // rebuild passes worker-private kernels). `budget`, when non-null,
+  // charges/truncates the DFS (or records per-emission charge points for
+  // the pooled replay — see EnumBudget).
   void EnumerateCandidatesFor(uint32_t slot,
                               std::vector<std::vector<NodeId>>* out,
-                              NeighborhoodKernel* kernel) const;
+                              NeighborhoodKernel* kernel,
+                              EnumBudget* budget = nullptr) const;
 
   DynamicGraph graph_;
   int k_;
@@ -213,6 +244,7 @@ class SolutionState {
   std::vector<std::vector<CandRef>> node_cands_;
   size_t node_cand_refs_ = 0;  // total entries across node_cands_ lists
   Count alive_candidates_ = 0;
+  size_t parallel_rebuild_min_slots_ = 8;
 };
 
 }  // namespace dkc

@@ -32,6 +32,7 @@ std::pair<std::unique_ptr<SolutionState>, double> SeedState(
   }
   auto state = std::make_unique<SolutionState>(DynamicGraph(g), options.k,
                                                std::move(node_scores));
+  state->set_parallel_rebuild_min_slots(options.parallel_rebuild_min_slots);
   for (CliqueId c = 0; c < solution.size(); ++c) {
     state->AddSolutionClique(solution.Get(c));
   }
@@ -170,13 +171,13 @@ void DynamicSolver::EnqueueOwnersOfNewCandidates(NodeId u, NodeId v,
                                 return !state_->SlotAlive(owner);
                               }),
                owners.end());
-  // The rebuilds register the new edge's candidates as a side effect; the
-  // fan-out runs the enumerations across the pool with byte-identical
-  // registration order (see RebuildCandidatesForMany).
+  // The rebuilds register the new edge's candidates as a side effect and
+  // charge `meter` themselves (possibly truncated by its cap); the fan-out
+  // runs the enumerations across the pool with byte-identical registration
+  // order and budget outcomes (see RebuildCandidatesForMany).
   std::vector<size_t> counts;
-  state_->RebuildCandidatesForMany(owners, pool_, &counts);
+  state_->RebuildCandidatesForMany(owners, pool_, &counts, meter);
   for (size_t i = 0; i < owners.size(); ++i) {
-    meter->Charge(1 + counts[i]);
     if (counts[i] > 0) queue->push_back(state_->RefOf(owners[i]));
   }
 }
@@ -184,8 +185,9 @@ void DynamicSolver::EnqueueOwnersOfNewCandidates(NodeId u, NodeId v,
 void DynamicSolver::FinishUpdate(const UpdateWork& meter,
                                  const SwapStats& swaps) {
   last_update_.work = meter.work;
+  last_update_.rebuild_cuts = meter.rebuild_cuts;
   last_update_.swaps = swaps;
-  aborted_updates_ += swaps.aborted ? 1 : 0;
+  aborted_updates_ += last_update_.aborted() ? 1 : 0;
   Accumulate(&swap_stats_, swaps);
 }
 
@@ -215,8 +217,7 @@ Status DynamicSolver::InsertEdge(NodeId u, NodeId v) {
     // only belong to the non-free endpoint's clique. The rebuild itself
     // reports whether the edge actually created a candidate there.
     const uint32_t owner = cu != SolutionState::kNoClique ? cu : cv;
-    const auto rebuilt = state_->RebuildCandidatesFor(owner, u, v);
-    meter.Charge(1 + rebuilt.candidates);
+    const auto rebuilt = state_->RebuildCandidatesFor(owner, u, v, &meter);
     if (rebuilt.has_edge) {
       queue.push_back(state_->RefOf(owner));
       swaps = TrySwapLoop(state_.get(), &queue, &meter, pool_);
@@ -237,7 +238,7 @@ Status DynamicSolver::InsertEdge(NodeId u, NodeId v) {
     // combination was an all-free clique of the *pre-insert* graph,
     // contradicting maximality), so no two of them are disjoint.
     const uint32_t slot = state_->AddSolutionClique(clique);
-    meter.Charge(1 + state_->RebuildCandidatesFor(slot));
+    state_->RebuildCandidatesFor(slot, &meter);
     FinishUpdate(meter, SwapStats{});
     return Status::OK();
   }

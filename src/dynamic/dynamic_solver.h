@@ -22,12 +22,16 @@ struct DynamicOptions {
   Method initial_method = Method::kLP;
   Budget initial_budget;
   /// Per-update maintenance budget for InsertEdge/DeleteEdge: time_ms is a
-  /// wall-clock deadline per update, max_branch_nodes a *deterministic*
-  /// work cap (units: swap pops + candidate rebuilds + candidates
-  /// registered). Exhaustion never corrupts the solution — mandatory
-  /// repair work (broken-clique replacement, candidate kills) always runs;
-  /// only the growth-chasing swap loop is cut short, surfaced through
-  /// last_update_stats().aborted(). With a pure work cap the abort outcome
+  /// wall-clock deadline per update (consulted at swap-pop boundaries),
+  /// max_branch_nodes a *deterministic* work cap (units: swap pops +
+  /// candidate rebuilds + DFS branch nodes entered during rebuild
+  /// enumerations). Exhaustion never corrupts the solution — structural
+  /// repair (broken-clique replacement, candidate kills) always runs, and
+  /// every indexed candidate stays valid; the growth-chasing swap loop is
+  /// cut at a pop boundary and an oversized rebuild enumeration at a DFS
+  /// branch boundary (the slot's candidate set may then be incomplete
+  /// until its next rebuild — see update_work.h). Both cuts are surfaced
+  /// through last_update_stats(). With a pure work cap the abort outcome
   /// is byte-identical at every thread count. Zero fields = unlimited.
   Budget update_budget;
   /// Worker pool for the initial solve + index build *and* the per-update
@@ -35,6 +39,11 @@ struct DynamicOptions {
   /// commits, packing's candidate sort). Solutions and abort outcomes are
   /// byte-identical at any thread count.
   ThreadPool* pool = nullptr;
+  /// Minimum rebuild batch size before the per-update candidate-rebuild
+  /// fan-out engages the pool (scheduling only; results identical). The
+  /// 2-3-slot batches typical per update lose to the Submit/Wait round
+  /// trip, hence the high default; tune on multi-core hosts.
+  size_t parallel_rebuild_min_slots = 8;
 };
 
 struct DynamicBuildStats {
@@ -46,10 +55,14 @@ struct DynamicBuildStats {
 /// accounting; the Status return carries only hard argument errors).
 struct UpdateStats {
   uint64_t work = 0;  // deterministic units charged (see UpdateWork)
+  /// Rebuild enumerations the work cap truncated mid-DFS this update
+  /// (valid-but-incomplete candidate sets; see update_work.h).
+  uint64_t rebuild_cuts = 0;
   SwapStats swaps;    // this update's swap activity
 
-  /// True iff update_budget cut this update's swap loop short.
-  bool aborted() const { return swaps.aborted; }
+  /// True iff update_budget truncated any of this update's maintenance —
+  /// the swap loop at a pop boundary or a rebuild mid-enumeration.
+  bool aborted() const { return swaps.aborted || rebuild_cuts > 0; }
 };
 
 class DynamicSolver {

@@ -11,12 +11,15 @@
 //
 // Budgeted maintenance: the loop optionally runs under an UpdateWork meter.
 // Work units are charged deterministically (one per pop, one per candidate
-// rebuild plus one per candidate it registers), and exhaustion aborts the
-// loop at a pop boundary — the solution and the candidate index stay fully
-// consistent; only further *growth opportunities* (queued swaps) are
-// abandoned. With a pure work cap (no wall-clock deadline) the abort
-// outcome is a property of the update stream, byte-identical at every
-// thread count.
+// rebuild plus one per branch node the rebuild's subset-enumeration DFS
+// enters), and exhaustion cuts maintenance at deterministic boundaries:
+// the loop aborts at a pop boundary, and a rebuild's enumeration stops at
+// a DFS branch boundary (see update_work.h). The solution and every
+// indexed candidate stay valid; a cut rebuild may leave a slot's candidate
+// set *incomplete* (growth opportunities missing until its next rebuild),
+// which is the price of bounding a single huge neighborhood rebuild. With
+// a pure work cap (no wall-clock deadline) the abort outcome is a property
+// of the update stream, byte-identical at every thread count.
 
 #ifndef DKC_DYNAMIC_SWAP_H_
 #define DKC_DYNAMIC_SWAP_H_
@@ -26,43 +29,12 @@
 
 #include "core/types.h"
 #include "dynamic/candidate_index.h"
+#include "dynamic/update_work.h"
 #include "util/timer.h"
 
 namespace dkc {
 
 using SwapQueue = std::deque<SolutionState::SlotRef>;
-
-/// Deterministic per-update work meter — the dynamic engine's analogue of
-/// OPT's exact-MIS branch budget. Charges depend only on the update
-/// history, never on scheduling; the wall-clock deadline is the
-/// schedule-dependent escape hatch for latency-bound deployments.
-struct UpdateWork {
-  static UpdateWork FromBudget(const Budget& budget) {
-    UpdateWork work;
-    if (budget.time_ms > 0) {
-      work.deadline = Deadline::AfterMillis(budget.time_ms);
-    }
-    work.max_work = budget.max_branch_nodes;
-    return work;
-  }
-
-  Deadline deadline = Deadline::Unlimited();
-  uint64_t max_work = 0;  // 0 = unlimited
-  uint64_t work = 0;      // units charged so far
-  bool aborted = false;   // latched by Exhausted()
-
-  void Charge(uint64_t units) { work += units; }
-
-  /// True once the budget is spent; latches `aborted`. Only the swap loop
-  /// consults it (at pop boundaries) — mandatory repair work always runs.
-  bool Exhausted() {
-    if (aborted) return true;
-    if ((max_work != 0 && work >= max_work) || deadline.Expired()) {
-      aborted = true;
-    }
-    return aborted;
-  }
-};
 
 struct SwapStats {
   uint64_t pops = 0;

@@ -1,0 +1,97 @@
+// Graph-shrinking preprocessing for k-clique workloads.
+//
+// A node can participate in a disjoint k-clique solution only if it lies in
+// at least one k-clique, and on the sparse real graphs the paper targets
+// most nodes do not. Two classical necessary conditions prune them without
+// ever listing a clique (the kClist lineage's biggest constant-factor win):
+//
+//   * (k-1)-core: every node of a k-clique has k-1 co-members, so any node
+//     whose degree drops below k-1 can be peeled, cascading;
+//   * triangle support: every edge of a k-clique lies in at least k-2
+//     triangles (one per remaining co-member), so edges supported by fewer
+//     can be dropped.
+//
+// Each rule can re-enable the other (dropping edges lowers degrees, peeling
+// nodes removes triangles), so the pipeline iterates both to a fixpoint,
+// then rebuilds a compact CSR over the survivors with an ascending-order id
+// remap and a back-mapping to original ids.
+//
+// Safety: by induction over the pruning steps, no node or edge of any
+// k-clique is ever removed — a k-clique's nodes keep degree >= k-1 and its
+// edges keep support >= k-2 as long as the clique itself is intact, which
+// it always is. The pruned graph therefore contains *exactly* the k-cliques
+// of the input.
+//
+// Determinism: in the default mode the pruned graph is meant to be oriented
+// by the ORIGINAL graph's degeneracy order restricted to the survivors
+// (`orientation` below). Because the id remap is ascending and every
+// k-clique survives with all its edges, each solver's DFS sees the same
+// surviving branches in the same relative order as on the unpruned graph —
+// removed nodes/edges only ever contributed dead branches — so solutions
+// are byte-identical with preprocessing on or off (the differential harness
+// asserts exactly this for all five methods). The opt-in `reorder` mode
+// recomputes the degeneracy order on the pruned graph instead: denser
+// kernels, still-valid solutions, but no byte-identity promise.
+
+#ifndef DKC_GRAPH_PREPROCESS_H_
+#define DKC_GRAPH_PREPROCESS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ordering.h"
+
+namespace dkc {
+
+struct PreprocessOptions {
+  int k = 3;
+  /// false: orientation = original degeneracy order restricted to survivors
+  /// (solver results byte-identical to no preprocessing). true: recompute
+  /// the degeneracy order on the pruned graph.
+  bool reorder = false;
+};
+
+/// Per-phase accounting, surfaced through SolveResult and the dkc CLI.
+struct PreprocessStats {
+  NodeId nodes_before = 0;
+  Count edges_before = 0;
+  NodeId nodes_after = 0;
+  Count edges_after = 0;
+  /// Nodes peeled by the (k-1)-core phase (summed over rounds).
+  NodeId peeled_nodes = 0;
+  /// Edges dropped because an endpoint was peeled.
+  Count peeled_edges = 0;
+  /// Edges dropped by the triangle-support phase (support < k-2).
+  Count unsupported_edges = 0;
+  /// Triangle-count passes until the fixpoint was certified (>= 1 when the
+  /// pipeline ran): 1 when the cascade finished incrementally or nothing
+  /// was prunable, +1 for every mass-kill round that forced a recount.
+  int rounds = 0;
+  double elapsed_ms = 0.0;
+  bool reordered = false;
+
+  NodeId nodes_removed() const { return nodes_before - nodes_after; }
+  Count edges_removed() const { return edges_before - edges_after; }
+};
+
+struct PreprocessResult {
+  /// Compact CSR over the surviving nodes, ids remapped ascending (the
+  /// remap is monotone: u < v in original ids iff their pruned ids are
+  /// ordered the same way).
+  Graph pruned;
+  /// pruned id -> original id, ascending.
+  std::vector<NodeId> new_to_old;
+  /// original id -> pruned id, kInvalidNode for removed nodes.
+  std::vector<NodeId> old_to_new;
+  /// The total order to orient `pruned` with (see header comment).
+  Ordering orientation;
+  PreprocessStats stats;
+};
+
+/// Runs the peel/support fixpoint for k-clique workloads (k >= 3).
+PreprocessResult PreprocessForKCliques(const Graph& g,
+                                       const PreprocessOptions& options);
+
+}  // namespace dkc
+
+#endif  // DKC_GRAPH_PREPROCESS_H_

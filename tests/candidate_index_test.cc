@@ -190,6 +190,7 @@ TEST(SolutionStateTest, RebuildManyMatchesSerialExactly) {
   Graph g = testing::RandomGraph(200, 0.07, /*seed=*/220);
   SolutionState serial(DynamicGraph(g), 3, ScoresFor(g, 3));
   SolutionState pooled(DynamicGraph(g), 3, ScoresFor(g, 3));
+  pooled.set_parallel_rebuild_min_slots(1);  // engage the pool regardless
   std::vector<uint8_t> used(g.num_nodes(), 0);
   std::vector<uint32_t> slots;
   for (const auto& tri : testing::BruteForceKCliques(g, 3)) {
@@ -217,6 +218,94 @@ TEST(SolutionStateTest, RebuildManyMatchesSerialExactly) {
   std::string error;
   EXPECT_TRUE(pooled.CheckInvariants(&error)) << error;
   EXPECT_TRUE(pooled.CheckCandidateCompleteness(&error)) << error;
+}
+
+TEST(SolutionStateTest, MeteredRebuildCutsLeaveValidButIncompleteIndex) {
+  Graph g = PaperFig5G2();
+  SolutionState state = Fig5State(g);
+  state.RebuildAllCandidates();
+  const uint32_t c1 = state.CliqueOf(2);
+  const size_t complete = state.CandidatesOf(c1).size();
+  ASSERT_GE(complete, 2u);
+
+  // One work unit: the rebuild charge itself exhausts the cap, so the DFS
+  // refuses its first branch — a full mid-rebuild cut. The kill half of
+  // the rebuild still ran (mandatory repair), so the slot's set is empty:
+  // valid (nothing stale) but incomplete.
+  UpdateWork meter;
+  meter.max_work = 1;
+  state.RebuildCandidatesFor(c1, &meter);
+  EXPECT_EQ(state.CandidatesOf(c1).size(), 0u);
+  EXPECT_EQ(meter.work, 1u);
+  EXPECT_EQ(meter.rebuild_cuts, 1u);
+  std::string error;
+  EXPECT_TRUE(state.CheckInvariants(&error)) << error;
+  EXPECT_FALSE(state.CheckCandidateCompleteness(&error))
+      << "a cut rebuild must be visibly incomplete";
+
+  // The next unbudgeted rebuild of the slot heals the incompleteness.
+  EXPECT_EQ(state.RebuildCandidatesFor(c1), complete);
+  EXPECT_TRUE(state.CheckCandidateCompleteness(&error)) << error;
+}
+
+TEST(SolutionStateTest, BudgetedRebuildManyMatchesSerialAtEveryCap) {
+  // The pooled fan-out enumerates speculatively and replays the meter
+  // serially; registered candidates, work, and cut counts must equal the
+  // serial loop's for any cap — including caps that truncate mid-slot.
+  Graph g = testing::RandomGraph(200, 0.07, /*seed=*/220);
+  SolutionState serial(DynamicGraph(g), 3, ScoresFor(g, 3));
+  SolutionState pooled(DynamicGraph(g), 3, ScoresFor(g, 3));
+  pooled.set_parallel_rebuild_min_slots(1);  // engage the pool regardless
+  std::vector<uint8_t> used(g.num_nodes(), 0);
+  std::vector<uint32_t> slots;
+  for (const auto& tri : testing::BruteForceKCliques(g, 3)) {
+    if (used[tri[0]] || used[tri[1]] || used[tri[2]]) continue;
+    for (NodeId u : tri) used[u] = 1;
+    slots.push_back(serial.AddSolutionClique(tri));
+    pooled.AddSolutionClique(tri);
+  }
+  ASSERT_GE(slots.size(), 4u);
+  ThreadPool pool(4);
+  bool some_cap_cut_mid_batch = false;
+  for (uint64_t cap : {uint64_t{0}, uint64_t{2}, uint64_t{9}, uint64_t{33},
+                       uint64_t{1000000}}) {
+    SCOPED_TRACE("cap=" + std::to_string(cap));
+    UpdateWork serial_meter, pooled_meter;
+    serial_meter.max_work = cap;
+    pooled_meter.max_work = cap;
+    std::vector<size_t> serial_counts, pooled_counts;
+    serial.RebuildCandidatesForMany(slots, nullptr, &serial_counts,
+                                    &serial_meter);
+    pooled.RebuildCandidatesForMany(slots, &pool, &pooled_counts,
+                                    &pooled_meter);
+    EXPECT_EQ(serial_counts, pooled_counts);
+    EXPECT_EQ(serial_meter.work, pooled_meter.work);
+    EXPECT_EQ(serial_meter.rebuild_cuts, pooled_meter.rebuild_cuts);
+    if (serial_meter.rebuild_cuts > 0 &&
+        serial_meter.rebuild_cuts < slots.size()) {
+      some_cap_cut_mid_batch = true;
+    }
+    for (uint32_t s : slots) {
+      const auto a = serial.CandidatesOf(s);
+      const auto b = pooled.CandidatesOf(s);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].nodes, b[i].nodes);
+      }
+    }
+    std::string error;
+    EXPECT_TRUE(pooled.CheckInvariants(&error)) << error;
+  }
+  EXPECT_TRUE(some_cap_cut_mid_batch)
+      << "no cap exercised a partial truncation; adjust the cap list";
+}
+
+TEST(SolutionStateTest, ParallelRebuildGateDefaultsToEightAndIsTunable) {
+  Graph g = PaperFig5G1();
+  SolutionState state = Fig5State(g);
+  EXPECT_EQ(state.parallel_rebuild_min_slots(), 8u);
+  state.set_parallel_rebuild_min_slots(2);
+  EXPECT_EQ(state.parallel_rebuild_min_slots(), 2u);
 }
 
 TEST(SolutionStateTest, CompletenessCheckerCatchesMissingCandidates) {

@@ -116,6 +116,80 @@ TEST(DifferentialTest, HeuristicsVsExactOnSmallInstances) {
   }
 }
 
+// The preprocessing pipeline's central promise: in the default
+// order-preserving mode, running any method on the (k-1)-core +
+// triangle-support pruned graph produces the byte-identical solution —
+// same cliques, same order, same node order within each clique — as
+// running it on the raw input. Every static instance, all five methods;
+// OPT runs under the deterministic branch budget so the genuinely hard
+// instances abort identically on both sides instead of timing out.
+TEST(DifferentialTest, PreprocessingPreservesSolutionsByteForByte) {
+  constexpr int kInstances = 52;
+  constexpr Method kMethods[] = {Method::kHG, Method::kGC, Method::kL,
+                                 Method::kLP, Method::kOPT};
+  int nontrivially_pruned = 0;
+  for (int case_index = 0; case_index < kInstances; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/7000);
+    const int k = 3 + case_index % 3;
+    for (Method method : kMethods) {
+      SCOPED_TRACE(MethodName(method));
+      SolverOptions options;
+      options.k = k;
+      options.method = method;
+      if (method == Method::kOPT) {
+        options.budget.max_branch_nodes = 40000;
+      }
+      options.preprocess = false;
+      auto plain = Solve(g, options);
+      options.preprocess = true;
+      auto pruned = Solve(g, options);
+      ASSERT_EQ(plain.ok(), pruned.ok())
+          << (plain.ok() ? pruned.status().ToString()
+                         : plain.status().ToString());
+      if (!plain.ok()) continue;  // identical deterministic abort
+      EXPECT_EQ(ToVectors(pruned->set), ToVectors(plain->set));
+      EXPECT_EQ(pruned->preprocess.nodes_before, g.num_nodes());
+      EXPECT_LE(pruned->preprocess.nodes_after,
+                pruned->preprocess.nodes_before);
+      if (pruned->preprocess.edges_removed() > 0) ++nontrivially_pruned;
+    }
+  }
+  // The sweep must include instances where pruning actually bites, or the
+  // byte-identity claim is only ever tested on no-op remaps.
+  EXPECT_GE(nontrivially_pruned, 10);
+}
+
+// The opt-in reorder mode waives byte-identity (the pruned graph gets its
+// own degeneracy order) but must still produce valid maximal disjoint
+// k-clique sets, mutually within the Theorem-3 k-approximation band of the
+// preprocess-off run.
+TEST(DifferentialTest, ReorderModeStaysValidAndComparable) {
+  for (int case_index = 0; case_index < 24; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/7000);
+    const int k = 3 + case_index % 3;
+    for (Method method : kHeuristics) {
+      SCOPED_TRACE(MethodName(method));
+      SolverOptions options;
+      options.k = k;
+      options.method = method;
+      options.preprocess = false;
+      auto plain = Solve(g, options);
+      options.preprocess = true;
+      options.preprocess_reorder = true;
+      auto reordered = Solve(g, options);
+      ASSERT_TRUE(plain.ok() && reordered.ok());
+      EXPECT_TRUE(reordered->preprocess.reordered);
+      EXPECT_EQ(testing::OracleCheckDisjointCliques(g, reordered->set), "");
+      EXPECT_TRUE(testing::OracleCheckMaximal(g, reordered->set));
+      EXPECT_TRUE(VerifySolution(g, reordered->set).ok());
+      EXPECT_LE(plain->size(), static_cast<NodeId>(k) * reordered->size());
+      EXPECT_LE(reordered->size(), static_cast<NodeId>(k) * plain->size());
+    }
+  }
+}
+
 // Fuzzes the Section-V dynamic engine: random insert/delete streams, with
 // invariants, both verifiers, and a from-scratch static re-solve
 // cross-checked after every batch of updates.

@@ -229,6 +229,58 @@ TEST(SubsetCliqueTest, WholeGraphSubsetMatchesGlobalEnumeration) {
             testing::Canonicalize(testing::BruteForceKCliques(base, 4)));
 }
 
+TEST(SubsetCliqueTest, BudgetTruncatesAtExactBranchBoundaries) {
+  // K6: rich enough that the 3-clique DFS has many branch nodes. The
+  // budgeted enumeration must emit exactly the cliques whose recorded
+  // charge point fits the cap, charge min(total, cap) units, and latch
+  // `cut` iff the cap actually truncated — for EVERY cap value.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) b.AddEdge(u, v);
+  }
+  Graph base = b.Build();
+  DynamicGraph g(base);
+  std::vector<NodeId> all = {0, 1, 2, 3, 4, 5};
+
+  std::vector<std::vector<NodeId>> reference;
+  std::vector<uint64_t> charge_points;
+  EnumBudget recorder;
+  recorder.emit_used = &charge_points;
+  ForEachKCliqueInSubset(
+      g, all, 3,
+      [&](std::span<const NodeId> nodes) {
+        reference.emplace_back(nodes.begin(), nodes.end());
+        return true;
+      },
+      nullptr, &recorder);
+  ASSERT_EQ(reference.size(), 20u);  // C(6,3)
+  ASSERT_EQ(charge_points.size(), reference.size());
+  ASSERT_FALSE(recorder.cut);
+  const uint64_t total = recorder.used;
+  ASSERT_GT(total, 0u);
+
+  for (uint64_t cap = 1; cap <= total + 2; ++cap) {
+    SCOPED_TRACE("cap=" + std::to_string(cap));
+    std::vector<std::vector<NodeId>> found;
+    EnumBudget budget;
+    budget.cap = cap;
+    ForEachKCliqueInSubset(
+        g, all, 3,
+        [&](std::span<const NodeId> nodes) {
+          found.emplace_back(nodes.begin(), nodes.end());
+          return true;
+        },
+        nullptr, &budget);
+    std::vector<std::vector<NodeId>> expected;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      if (charge_points[i] <= cap) expected.push_back(reference[i]);
+    }
+    EXPECT_EQ(found, expected);  // a prefix of the unbudgeted order
+    EXPECT_EQ(budget.used, std::min(total, cap));
+    EXPECT_EQ(budget.cut, total > cap);
+  }
+}
+
 TEST(SubsetCliqueTest, EarlyStop) {
   Graph base = testing::RandomGraph(20, 0.5, /*seed=*/55);
   DynamicGraph g(base);

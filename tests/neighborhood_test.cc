@@ -461,6 +461,102 @@ TEST(IntersectSkewTest, GallopingMatchesMergeAcrossTheCrossover) {
   }
 }
 
+// Whatever merge the build selected for the fallback (the classic
+// three-way merge by default, the branch-free loop under
+// DKC_BRANCHFREE_MERGE) — and the branch-free implementation itself,
+// which stays exposed in every configuration — must agree with the
+// reference on every overlap pattern, including the n=4096 shape whose
+// layout sensitivity motivated the branch-free variant.
+TEST(IntersectMergeTest, MergePathsMatchReferenceAcrossOverlapPatterns) {
+  Rng rng(2024);
+  std::vector<NodeId> got;  // reused across cases: stale contents must die
+  for (size_t n : {2u, 15u, 64u, 333u, 4096u}) {
+    for (double overlap : {0.0, 0.1, 0.5, 1.0}) {
+      std::vector<NodeId> a, b;
+      NodeId next = 0;
+      while (a.size() < n || b.size() < n) {
+        next += 1 + static_cast<NodeId>(rng.NextBounded(3));
+        const bool both = rng.NextBool(overlap);
+        if (both) {
+          if (a.size() < n) a.push_back(next);
+          if (b.size() < n) b.push_back(next);
+        } else if (rng.NextBool(0.5)) {
+          if (a.size() < n) a.push_back(next);
+        } else {
+          if (b.size() < n) b.push_back(next);
+        }
+      }
+      std::vector<NodeId> expected;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(expected));
+      IntersectSorted(a, b, &got);
+      EXPECT_EQ(got, expected) << "n=" << n << " overlap=" << overlap;
+      IntersectSorted(b, a, &got);
+      EXPECT_EQ(got, expected) << "n=" << n << " overlap=" << overlap;
+      IntersectSortedBranchFree(a, b, &got);
+      EXPECT_EQ(got, expected) << "n=" << n << " overlap=" << overlap;
+      IntersectSortedBranchFree(b, a, &got);
+      EXPECT_EQ(got, expected) << "n=" << n << " overlap=" << overlap;
+    }
+  }
+}
+
+TEST(IntersectMergeTest, BranchFreeMergeHandlesEdgeCases) {
+  std::vector<NodeId> out = {99};  // stale contents must be overwritten
+  IntersectSortedBranchFree({}, {}, &out);
+  EXPECT_TRUE(out.empty());
+  const std::vector<NodeId> single = {5};
+  IntersectSortedBranchFree(single, single, &out);
+  EXPECT_EQ(out, single);
+  const std::vector<NodeId> other = {6};
+  IntersectSortedBranchFree(single, other, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectMergeTest, MergeAndGallopAgreeAtTheCrossover) {
+  // Sizes straddling small * kGallopSkew == large flip the implementation
+  // between the merge fallback and galloping; the planted pattern keeps
+  // the expected intersection identical on both sides of the flip.
+  Rng rng(2025);
+  for (size_t small_size : {2u, 5u, 9u}) {
+    std::vector<NodeId> small_set;
+    for (size_t i = 0; i < small_size; ++i) {
+      small_set.push_back(static_cast<NodeId>(100 * (i + 1)));
+    }
+    for (long delta = -1; delta <= 1; ++delta) {
+      const size_t large_size =
+          static_cast<size_t>(static_cast<long>(small_size * kGallopSkew) + delta);
+      std::vector<NodeId> large_set;
+      for (size_t i = 0; large_set.size() < large_size; ++i) {
+        large_set.push_back(static_cast<NodeId>(3 * i + 1));
+      }
+      // Plant every other small element.
+      for (size_t i = 0; i < small_set.size(); i += 2) {
+        large_set.push_back(small_set[i]);
+      }
+      std::sort(large_set.begin(), large_set.end());
+      large_set.erase(std::unique(large_set.begin(), large_set.end()),
+                      large_set.end());
+      std::vector<NodeId> expected;
+      std::set_intersection(small_set.begin(), small_set.end(),
+                            large_set.begin(), large_set.end(),
+                            std::back_inserter(expected));
+      std::vector<NodeId> got;
+      IntersectSorted(small_set, large_set, &got);
+      EXPECT_EQ(got, expected)
+          << "small=" << small_size << " delta=" << delta;
+      IntersectSorted(large_set, small_set, &got);
+      EXPECT_EQ(got, expected)
+          << "small=" << small_size << " delta=" << delta;
+      // The branch-free merge must agree with the galloping side of the
+      // crossover too (it never gallops itself).
+      IntersectSortedBranchFree(small_set, large_set, &got);
+      EXPECT_EQ(got, expected)
+          << "small=" << small_size << " delta=" << delta;
+    }
+  }
+}
+
 TEST(IntersectSkewTest, ExtremeSkewEdgeCases) {
   std::vector<NodeId> tiny = {500};
   std::vector<NodeId> big(4096);

@@ -1,0 +1,238 @@
+// Unit tests for the graph-shrinking preprocessing pipeline: peel/support
+// fixpoint behaviour on structured graphs (windmill, tripartite, star),
+// the "everything pruned" / "nothing pruned" edges, remap invariants, and
+// the order-preserving orientation contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/ordering.h"
+#include "graph/preprocess.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace dkc {
+namespace {
+
+// Windmill: `blades` triangles all sharing node 0.
+Graph Windmill(NodeId blades) {
+  GraphBuilder b;
+  for (NodeId i = 0; i < blades; ++i) {
+    const NodeId x = 1 + 2 * i;
+    const NodeId y = 2 + 2 * i;
+    b.AddEdge(0, x);
+    b.AddEdge(0, y);
+    b.AddEdge(x, y);
+  }
+  return b.Build();
+}
+
+// Complete tripartite K_{size,size,size}.
+Graph Tripartite(NodeId size) {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 3 * size; ++u) {
+    for (NodeId v = u + 1; v < 3 * size; ++v) {
+      if (u / size != v / size) b.AddEdge(u, v);
+    }
+  }
+  return b.Build();
+}
+
+Graph Star(NodeId leaves) {
+  GraphBuilder b;
+  for (NodeId i = 1; i <= leaves; ++i) b.AddEdge(0, i);
+  return b.Build();
+}
+
+// Shared sanity pack: stats add up, the maps invert each other, the remap
+// is monotone (order-preserving), and the orientation is a permutation of
+// the pruned graph's nodes.
+void CheckInvariants(const Graph& g, const PreprocessResult& result) {
+  const PreprocessStats& stats = result.stats;
+  EXPECT_EQ(stats.nodes_before, g.num_nodes());
+  EXPECT_EQ(stats.edges_before, g.num_edges());
+  EXPECT_EQ(stats.nodes_after, result.pruned.num_nodes());
+  EXPECT_EQ(stats.edges_after, result.pruned.num_edges());
+  EXPECT_EQ(stats.nodes_removed(), stats.peeled_nodes);
+  EXPECT_EQ(stats.edges_removed(),
+            stats.peeled_edges + stats.unsupported_edges);
+
+  ASSERT_EQ(result.new_to_old.size(), result.pruned.num_nodes());
+  ASSERT_EQ(result.old_to_new.size(), g.num_nodes());
+  for (NodeId pu = 0; pu < result.new_to_old.size(); ++pu) {
+    EXPECT_EQ(result.old_to_new[result.new_to_old[pu]], pu);
+    if (pu > 0) {  // ascending == order-preserving
+      EXPECT_LT(result.new_to_old[pu - 1], result.new_to_old[pu]);
+    }
+  }
+
+  const NodeId pruned_n = result.pruned.num_nodes();
+  ASSERT_EQ(result.orientation.nodes.size(), pruned_n);
+  ASSERT_EQ(result.orientation.rank.size(), pruned_n);
+  std::vector<uint8_t> seen(pruned_n, 0);
+  for (NodeId i = 0; i < pruned_n; ++i) {
+    const NodeId u = result.orientation.nodes[i];
+    ASSERT_LT(u, pruned_n);
+    EXPECT_EQ(result.orientation.rank[u], i);
+    EXPECT_EQ(seen[u], 0);
+    seen[u] = 1;
+  }
+}
+
+PreprocessResult RunPipeline(const Graph& g, int k, bool reorder = false) {
+  PreprocessOptions options;
+  options.k = k;
+  options.reorder = reorder;
+  PreprocessResult result = PreprocessForKCliques(g, options);
+  CheckInvariants(g, result);
+  return result;
+}
+
+TEST(PreprocessTest, WindmillKeepsEverythingForTriangles) {
+  const Graph g = Windmill(5);
+  const auto result = RunPipeline(g, 3);
+  // Every node sits in a triangle and every edge supports one: fixpoint in
+  // one (verification) round, nothing pruned.
+  EXPECT_EQ(result.pruned.num_nodes(), g.num_nodes());
+  EXPECT_EQ(result.pruned.num_edges(), g.num_edges());
+  EXPECT_EQ(result.stats.peeled_nodes, 0u);
+  EXPECT_EQ(result.stats.unsupported_edges, 0u);
+  EXPECT_GE(result.stats.rounds, 1);
+}
+
+TEST(PreprocessTest, WindmillFullyPrunedForK4) {
+  const Graph g = Windmill(5);
+  const auto result = RunPipeline(g, 4);
+  // No 4-clique anywhere: blade nodes have degree 2 < 3 and are peeled,
+  // which empties the graph entirely.
+  EXPECT_EQ(result.pruned.num_nodes(), 0u);
+  EXPECT_EQ(result.pruned.num_edges(), 0u);
+  EXPECT_EQ(result.stats.nodes_removed(), g.num_nodes());
+  EXPECT_EQ(result.stats.edges_removed(), g.num_edges());
+}
+
+TEST(PreprocessTest, TripartiteIsCliqueFreeButUnprunable) {
+  // K_{2,2,2} has no 4-clique, yet every node has degree 4 >= 3 and every
+  // edge has support 2 >= 2: the necessary conditions cannot see it. The
+  // pipeline must keep it whole (conservative, never unsound) — catching
+  // over-aggressive pruning rules.
+  const Graph g = Tripartite(2);
+  ASSERT_TRUE(testing::BruteForceKCliques(g, 4).empty());
+  const auto result = RunPipeline(g, 4);
+  EXPECT_EQ(result.pruned.num_nodes(), g.num_nodes());
+  EXPECT_EQ(result.pruned.num_edges(), g.num_edges());
+}
+
+TEST(PreprocessTest, TripartiteKeepsTrianglesDropsNothingForK3) {
+  const Graph g = Tripartite(3);
+  const auto result = RunPipeline(g, 3);
+  EXPECT_EQ(result.pruned.num_nodes(), g.num_nodes());
+  EXPECT_EQ(result.pruned.num_edges(), g.num_edges());
+}
+
+TEST(PreprocessTest, StarIsFullyPeeled) {
+  const Graph g = Star(16);
+  const auto result = RunPipeline(g, 3);
+  // Leaves have degree 1 < 2; peeling them strands the hub.
+  EXPECT_EQ(result.pruned.num_nodes(), 0u);
+  EXPECT_EQ(result.stats.peeled_nodes, g.num_nodes());
+  EXPECT_EQ(result.stats.peeled_edges, g.num_edges());
+  EXPECT_EQ(result.stats.unsupported_edges, 0u);
+}
+
+TEST(PreprocessTest, SupportPruningCascadesIntoASecondPeelRound) {
+  // Two K4s sharing node 6, plus node 7 wired to three clique nodes that
+  // span both cliques: 7 survives the degree peel (degree 3) but all of
+  // its edges have triangle support <= 1 < 2, so the support phase drops
+  // them and the *next* peel round removes the now-isolated node.
+  GraphBuilder b;
+  const NodeId k4a[] = {0, 1, 2, 6};
+  const NodeId k4b[] = {3, 4, 5, 6};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      b.AddEdge(k4a[i], k4a[j]);
+      b.AddEdge(k4b[i], k4b[j]);
+    }
+  }
+  b.AddEdge(7, 0);
+  b.AddEdge(7, 1);
+  b.AddEdge(7, 3);
+  const Graph g = b.Build();
+  const auto result = RunPipeline(g, 4);
+  EXPECT_EQ(result.pruned.num_nodes(), 7u);  // both K4s survive
+  EXPECT_EQ(result.pruned.num_edges(), 12u);
+  EXPECT_EQ(result.stats.peeled_nodes, 1u);
+  EXPECT_EQ(result.stats.unsupported_edges, 3u);
+  EXPECT_GE(result.stats.rounds, 1);
+  // Node 7 is gone; everyone else keeps their (remapped) ids in order.
+  EXPECT_EQ(result.old_to_new[7], kInvalidNode);
+  for (NodeId u = 0; u < 7; ++u) EXPECT_EQ(result.old_to_new[u], u);
+}
+
+TEST(PreprocessTest, PruningNeverRemovesACliqueNodeOrEdge) {
+  // Randomized soundness check: every k-clique of the input must appear,
+  // with all of its edges, in the pruned graph (under the id remap).
+  for (int case_index = 0; case_index < 12; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraph(28 + case_index, 0.25,
+                                         9000 + case_index);
+    for (int k = 3; k <= 5; ++k) {
+      SCOPED_TRACE("k=" + std::to_string(k));
+      const auto result = RunPipeline(g, k);
+      const auto before = testing::BruteForceKCliques(g, k);
+      auto after = testing::BruteForceKCliques(result.pruned, k);
+      for (auto& clique : after) {
+        for (NodeId& u : clique) u = result.new_to_old[u];
+      }
+      EXPECT_EQ(testing::Canonicalize(before), testing::Canonicalize(after));
+    }
+  }
+}
+
+TEST(PreprocessTest, DefaultOrientationRestrictsTheOriginalDegeneracyOrder) {
+  const Graph g = testing::RandomGraph(60, 0.15, 9100);
+  const auto result = RunPipeline(g, 4);
+  ASSERT_GT(result.pruned.num_nodes(), 0u);
+  ASSERT_LT(result.pruned.num_nodes(), g.num_nodes());  // pruning bit
+  const Ordering original = DegeneracyOrdering(g);
+  // Relative ranks of survivors must match the original order exactly.
+  std::vector<NodeId> expected;
+  for (NodeId id : original.nodes) {
+    if (result.old_to_new[id] != kInvalidNode) {
+      expected.push_back(result.old_to_new[id]);
+    }
+  }
+  EXPECT_EQ(result.orientation.nodes, expected);
+  EXPECT_FALSE(result.stats.reordered);
+}
+
+TEST(PreprocessTest, ReorderModeRecomputesDegeneracyOnThePrunedGraph) {
+  const Graph g = testing::RandomGraph(60, 0.15, 9100);
+  const auto result = RunPipeline(g, 4, /*reorder=*/true);
+  EXPECT_TRUE(result.stats.reordered);
+  const Ordering fresh = DegeneracyOrdering(result.pruned);
+  EXPECT_EQ(result.orientation.nodes, fresh.nodes);
+  EXPECT_EQ(result.orientation.rank, fresh.rank);
+}
+
+TEST(PreprocessTest, EmptyGraphAndSmallKPassThrough) {
+  const Graph empty;
+  const auto result = RunPipeline(empty, 4);
+  EXPECT_EQ(result.pruned.num_nodes(), 0u);
+  EXPECT_EQ(result.stats.rounds, 1);
+
+  // k < 3: identity pass-through (no prune rules exist).
+  const Graph g = Star(4);
+  const auto identity = RunPipeline(g, 2);
+  EXPECT_EQ(identity.pruned.num_nodes(), g.num_nodes());
+  EXPECT_EQ(identity.pruned.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace dkc

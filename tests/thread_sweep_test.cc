@@ -130,6 +130,7 @@ TEST(ThreadSweepTest, OptOutcomesAreByteIdenticalAcrossThreadCounts) {
 struct StreamTrace {
   std::vector<uint8_t> aborted;              // per update
   std::vector<uint64_t> work;                // per update
+  std::vector<uint64_t> rebuild_cuts;        // per update (mid-DFS aborts)
   std::vector<std::vector<std::vector<NodeId>>> snapshots;  // per batch
   NodeId final_size = 0;
 };
@@ -152,6 +153,7 @@ StreamTrace RunStream(const Graph& initial, const std::vector<UpdateOp>& ops,
     EXPECT_TRUE(status.ok()) << status.ToString();
     trace.aborted.push_back(solver->last_update_stats().aborted() ? 1 : 0);
     trace.work.push_back(solver->last_update_stats().work);
+    trace.rebuild_cuts.push_back(solver->last_update_stats().rebuild_cuts);
     if (++step % batch == 0) {
       trace.snapshots.push_back(ToVectors(solver->Snapshot()));
     }
@@ -174,6 +176,7 @@ TEST(ThreadSweepTest, DynamicStreamsAreByteIdenticalAcrossThreadCounts) {
 
   uint64_t budget_aborts = 0;
   uint64_t budget_completions = 0;
+  uint64_t budget_rebuild_cuts = 0;
   for (int stream = 0; stream < kStreams; ++stream) {
     SCOPED_TRACE("stream=" + std::to_string(stream));
     Rng rng(7300 + static_cast<uint64_t>(stream) * 97);
@@ -187,20 +190,27 @@ TEST(ThreadSweepTest, DynamicStreamsAreByteIdenticalAcrossThreadCounts) {
       SCOPED_TRACE("budget=" + std::to_string(budget));
       const StreamTrace serial =
           RunStream(initial, ops, k, nullptr, budget, kBatch);
-      for (uint8_t aborted : serial.aborted) {
+      for (size_t i = 0; i < serial.aborted.size(); ++i) {
         if (budget == 0) {
-          ASSERT_EQ(aborted, 0) << "unlimited budget aborted an update";
+          ASSERT_EQ(serial.aborted[i], 0)
+              << "unlimited budget aborted an update";
+          ASSERT_EQ(serial.rebuild_cuts[i], 0u)
+              << "unlimited budget cut a rebuild";
         } else {
-          (aborted != 0 ? budget_aborts : budget_completions) += 1;
+          (serial.aborted[i] != 0 ? budget_aborts : budget_completions) += 1;
+          budget_rebuild_cuts += serial.rebuild_cuts[i];
         }
       }
       for (ThreadPool* pool : pools) {
         SCOPED_TRACE("threads=" + std::to_string(pool->num_threads()));
         const StreamTrace pooled =
             RunStream(initial, ops, k, pool, budget, kBatch);
-        // Identical abort outcomes, update by update...
+        // Identical abort outcomes, update by update — including where the
+        // budget cut a rebuild enumeration mid-DFS (the pooled fan-out
+        // replays the serial DFS's truncation point exactly)...
         EXPECT_EQ(pooled.aborted, serial.aborted);
         EXPECT_EQ(pooled.work, serial.work);
+        EXPECT_EQ(pooled.rebuild_cuts, serial.rebuild_cuts);
         // ...and byte-identical solutions after every batch: same cliques,
         // same order, same node order within each clique.
         EXPECT_EQ(pooled.snapshots, serial.snapshots);
@@ -208,9 +218,12 @@ TEST(ThreadSweepTest, DynamicStreamsAreByteIdenticalAcrossThreadCounts) {
       }
     }
   }
-  // The budgeted sweep must exercise both regimes or it proves nothing.
+  // The budgeted sweep must exercise both regimes — and the mid-rebuild
+  // abort path — or it proves nothing.
   EXPECT_GE(budget_aborts, 10u) << "work budget never bit; lower it";
   EXPECT_GE(budget_completions, 100u) << "work budget starves every update";
+  EXPECT_GE(budget_rebuild_cuts, 10u)
+      << "work budget never cut a rebuild mid-enumeration";
 }
 
 }  // namespace

@@ -50,12 +50,13 @@ int Usage() {
                "  --threads=<n>  worker pool for stats/solve/update "
                "(default 1)\n"
                "  solve:  --k=4 --method=HG|GC|L|LP|OPT [--out=path]\n"
+               "          [--no-preprocess] [--preprocess-reorder]\n"
                "  verify: --solution=path\n"
                "  cover:  --k=5 --min-k=3 [--pairs]\n"
                "  match:  [--exact]\n"
                "  stats:  [--kmin=3 --kmax=6]\n"
                "  update: --k=3 [--updates=2000] [--update-budget-ms=x]\n"
-               "          [--update-branch-budget=n]\n");
+               "          [--update-branch-budget=n] [--rebuild-min-slots=n]\n");
   return 2;
 }
 
@@ -116,12 +117,28 @@ int RunSolve(const dkc::Flags& flags, const dkc::Graph& g) {
   options.method = *method;
   options.budget.time_ms = flags.GetDouble("budget-ms", 0);
   options.budget.memory_bytes = flags.GetInt("budget-mb", 0) * (1 << 20);
+  options.preprocess = !flags.GetBool("no-preprocess", false);
+  options.preprocess_reorder = flags.GetBool("preprocess-reorder", false);
   const auto pool = MakePool(flags);
   options.pool = pool.get();
   auto result = dkc::Solve(g, options);
   if (!result.ok()) {
     std::fprintf(stderr, "solve: %s\n", result.status().ToString().c_str());
     return 1;
+  }
+  if (options.preprocess) {
+    const dkc::PreprocessStats& pre = result->preprocess;
+    std::printf("preprocess%s: %u -> %u nodes, %llu -> %llu edges "
+                "(%u peeled, %llu edges peeled, %llu unsupported) "
+                "in %d rounds, %.1f ms\n",
+                pre.reordered ? " (reordered)" : "", pre.nodes_before,
+                pre.nodes_after,
+                static_cast<unsigned long long>(pre.edges_before),
+                static_cast<unsigned long long>(pre.edges_after),
+                pre.peeled_nodes,
+                static_cast<unsigned long long>(pre.peeled_edges),
+                static_cast<unsigned long long>(pre.unsupported_edges),
+                pre.rounds, pre.elapsed_ms);
   }
   std::printf("method %s k=%d -> %u disjoint cliques in %.1f ms "
               "(%.1f%% of nodes covered)\n",
@@ -190,6 +207,9 @@ int RunUpdate(const dkc::Flags& flags, const dkc::Graph& g) {
   options.update_budget.time_ms = flags.GetDouble("update-budget-ms", 0);
   options.update_budget.max_branch_nodes =
       static_cast<uint64_t>(flags.GetInt("update-branch-budget", 0));
+  options.parallel_rebuild_min_slots = static_cast<size_t>(flags.GetInt(
+      "rebuild-min-slots",
+      static_cast<long>(dkc::DynamicOptions{}.parallel_rebuild_min_slots)));
   const auto pool = MakePool(flags);
   options.pool = pool.get();
 
@@ -214,6 +234,7 @@ int RunUpdate(const dkc::Flags& flags, const dkc::Graph& g) {
 
   dkc::Timer timer;
   uint64_t total_work = 0;
+  uint64_t total_rebuild_cuts = 0;
   for (const auto& op : workload.ops) {
     const dkc::Status status =
         op.is_insert ? solver->InsertEdge(op.edge.first, op.edge.second)
@@ -223,6 +244,7 @@ int RunUpdate(const dkc::Flags& flags, const dkc::Graph& g) {
       return 1;
     }
     total_work += solver->last_update_stats().work;
+    total_rebuild_cuts += solver->last_update_stats().rebuild_cuts;
   }
   const double total_ms = timer.ElapsedMillis();
   const auto& swaps = solver->lifetime_swap_stats();
@@ -236,11 +258,12 @@ int RunUpdate(const dkc::Flags& flags, const dkc::Graph& g) {
                                    : static_cast<double>(total_work) /
                                          static_cast<double>(workload.ops.size()));
   std::printf("swaps: %llu pops, %llu commits, %llu cliques gained; "
-              "%llu budget aborts\n",
+              "%llu budget aborts (%llu mid-rebuild cuts)\n",
               static_cast<unsigned long long>(swaps.pops),
               static_cast<unsigned long long>(swaps.commits),
               static_cast<unsigned long long>(swaps.cliques_gained),
-              static_cast<unsigned long long>(solver->aborted_updates()));
+              static_cast<unsigned long long>(solver->aborted_updates()),
+              static_cast<unsigned long long>(total_rebuild_cuts));
   std::printf("final |S|=%u, %llu candidates indexed, %.1f MiB\n",
               solver->solution_size(),
               static_cast<unsigned long long>(solver->index_size()),

@@ -13,15 +13,23 @@
 // solve + index build, per-update candidate-rebuild fan-outs, packing
 // sort) across n workers; maintained solutions are byte-identical to the
 // serial run at any thread count.
+//
+// --persist additionally replays the mixed stream through the durable
+// store (WAL append + fsync per update, src/store), reporting the
+// persisted-mode cost next to the in-memory number; --persist-no-sync
+// drops the per-append fsync to isolate the logging overhead from the
+// disk-flush overhead. Temp files go to --persist-dir (default /tmp).
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "datasets.h"
 #include "dynamic/dynamic_solver.h"
 #include "dynamic/workload.h"
+#include "store/store.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -71,6 +79,36 @@ UpdateRun Run(const dkc::Graph& start,
   return run;
 }
 
+// Replays `ops` through a DurableStore at `dir` — the serving
+// configuration: every update WAL-logged (and fsynced unless !sync)
+// before it is applied. The maintained solution is identical to the
+// in-memory run; only the durability cost differs.
+UpdateRun RunPersisted(const dkc::Graph& start,
+                       const std::vector<dkc::UpdateOp>& ops, int k,
+                       double budget_ms, dkc::ThreadPool* pool,
+                       const std::string& dir, bool sync) {
+  UpdateRun run;
+  dkc::StoreOptions options;
+  options.dynamic.k = k;
+  options.dynamic.initial_budget.time_ms = budget_ms;
+  options.dynamic.pool = pool;
+  options.sync_every_append = sync;
+  const std::string tag = dir + "/dkc_bench_persist_k" + std::to_string(k);
+  auto store = dkc::DurableStore::Create(start, tag + ".snap", tag + ".wal",
+                                         options);
+  if (!store.ok()) return run;
+  dkc::Timer timer;
+  for (const auto& op : ops) {
+    if (!store->Apply(op).ok()) return run;
+  }
+  const double total_ns = static_cast<double>(timer.ElapsedNanos());
+  run.ok = true;
+  run.avg_ns = ops.empty() ? 0 : total_ns / static_cast<double>(ops.size());
+  std::remove((tag + ".snap").c_str());
+  std::remove((tag + ".wal").c_str());
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,9 +122,14 @@ int main(int argc, char** argv) {
     pool = std::make_unique<dkc::ThreadPool>(static_cast<size_t>(threads));
   }
 
+  const bool persist = flags.GetBool("persist", false);
+  const bool persist_sync = !flags.GetBool("persist-no-sync", false);
+  const std::string persist_dir = flags.GetString("persist-dir", "/tmp");
+
   struct RowResult {
     std::string name;
     std::vector<UpdateRun> del, ins, mix;  // one entry per k
+    std::vector<UpdateRun> mix_persisted;  // --persist only
   };
   std::vector<RowResult> rows;
 
@@ -113,6 +156,11 @@ int main(int argc, char** argv) {
           Run(without, insertions, k, config.budget_ms, pool.get()));
       row.mix.push_back(
           Run(mixed.prepared, mixed.ops, k, config.budget_ms, pool.get()));
+      if (persist) {
+        row.mix_persisted.push_back(
+            RunPersisted(mixed.prepared, mixed.ops, k, config.budget_ms,
+                         pool.get(), persist_dir, persist_sync));
+      }
     }
     rows.push_back(std::move(row));
   }
@@ -142,6 +190,11 @@ int main(int argc, char** argv) {
   print_time_table("deletions", &RowResult::del);
   print_time_table("insertions", &RowResult::ins);
   print_time_table("mixed", &RowResult::mix);
+  if (persist) {
+    std::printf("\n(persisted mode: WAL append%s per update, src/store)\n",
+                persist_sync ? " + fsync" : ", no fsync");
+    print_time_table("mixed, persisted", &RowResult::mix_persisted);
+  }
 
   std::printf("\n## Table VIII: quality of S after updates (Δ vs building "
               "from scratch)\n");

@@ -19,8 +19,10 @@
 #define DKC_DYNAMIC_CANDIDATE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "clique/clique_store.h"
@@ -28,6 +30,7 @@
 #include "dynamic/update_work.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace dkc {
@@ -168,6 +171,29 @@ class SolutionState {
   /// arbitrarily long update streams — the memory-growth regression tests
   /// pin that bound.
   size_t node_cand_ref_count() const { return node_cand_refs_; }
+
+  // --- persistence (store/snapshot.h) --------------------------------
+  /// Appends the graph adjacency as a CSR blob (its own versioned layout;
+  /// integrity/CRC framing is the snapshot writer's job).
+  void SerializeGraphTo(std::string* out) const;
+
+  /// Appends everything else the engine's future behavior depends on:
+  /// scores, solution slots with generation tags, the candidate arena in
+  /// registration order, both free-slot stacks, and the per-node candidate
+  /// lists *including stale refs*. Verbatim capture is the point — slot
+  /// reuse order, candidate registration indices, and compaction timing
+  /// all feed downstream tie-breaks, so a restored state continues
+  /// byte-identically to the state it was serialized from.
+  void SerializeStateTo(std::string* out) const;
+
+  /// Rebuilds a state from the two blobs. Bounds-checks every read,
+  /// cross-validates the derived counters, and runs CheckInvariants;
+  /// returns Corruption on any mismatch (the caller has already verified
+  /// checksums, so a failure here means a logic bug or a forged file).
+  /// The restored state uses default options (parallel_rebuild_min_slots);
+  /// callers re-apply their configuration.
+  static StatusOr<std::unique_ptr<SolutionState>> Deserialize(
+      std::string_view graph_bytes, std::string_view state_bytes);
 
   /// Exhaustive invariant check (tests only; O(index size * k)).
   bool CheckInvariants(std::string* error) const;

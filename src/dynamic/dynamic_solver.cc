@@ -78,6 +78,19 @@ StatusOr<DynamicSolver> DynamicSolver::BuildFromSolution(
   return DynamicSolver(std::move(state), stats, options);
 }
 
+StatusOr<DynamicSolver> DynamicSolver::FromState(
+    std::unique_ptr<SolutionState> state, const DynamicOptions& options) {
+  if (state == nullptr) {
+    return Status::InvalidArgument("null engine state");
+  }
+  if (state->k() != options.k) {
+    return Status::InvalidArgument("state k does not match options.k");
+  }
+  // Scheduling configuration is not persisted; re-apply the caller's.
+  state->set_parallel_rebuild_min_slots(options.parallel_rebuild_min_slots);
+  return DynamicSolver(std::move(state), DynamicBuildStats{}, options);
+}
+
 bool DynamicSolver::FindFreeCliqueWithEdge(NodeId u, NodeId v,
                                            std::vector<NodeId>* clique) {
   const int k = state_->k();

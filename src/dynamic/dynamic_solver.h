@@ -80,6 +80,17 @@ class DynamicSolver {
       const Graph& g, const CliqueStore& solution,
       const DynamicOptions& options);
 
+  /// Wrap a restored engine state (store/snapshot.h) without re-solving or
+  /// re-indexing: the state already carries the solution *and* the exact
+  /// candidate index, so the solver continues byte-identically to the one
+  /// the state was serialized from. Lifetime stats restart at zero.
+  /// InvalidArgument if options.k disagrees with the state's k.
+  static StatusOr<DynamicSolver> FromState(
+      std::unique_ptr<SolutionState> state, const DynamicOptions& options);
+
+  /// The engine state (exposed for the durable store's snapshot writer).
+  const SolutionState& state() const { return *state_; }
+
   /// Algorithm 6. Returns InvalidArgument if the edge already exists or
   /// u == v. New node ids grow the graph.
   Status InsertEdge(NodeId u, NodeId v);

@@ -1,0 +1,73 @@
+#include "io/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(_WIN32)
+#error "the durable store requires a POSIX host"
+#endif
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace dkc {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+// Best-effort: some filesystems refuse O_RDONLY directory fds; the rename
+// is still atomic, just not crash-durable until the next journal flush.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = AtomicTempPath(path);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot open", tmp);
+
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("write to", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Errno("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) return Errno("close", tmp);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Errno("rename over", path);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+}  // namespace dkc

@@ -1,0 +1,30 @@
+// Torn-write-proof file publication: write to a temp file in the target's
+// directory, flush + fsync, then rename over the destination.
+//
+// Every writer in the tree (edge lists, solutions, snapshots, compacted
+// WALs) publishes through this helper: a crash at any point leaves either
+// the old file intact or the new file complete — never a truncated hybrid
+// that later parses as a smaller-but-valid artifact. The rename is atomic
+// on POSIX; the directory fsync makes it durable, not merely ordered.
+
+#ifndef DKC_IO_ATOMIC_FILE_H_
+#define DKC_IO_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dkc {
+
+/// Atomically replace (or create) `path` with `data`. The temp file is
+/// `path` + ".tmp"; a stale temp left by an earlier crash is overwritten.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// The temp name AtomicWriteFile publishes through (exposed so recovery
+/// tests can fabricate mid-write crash states).
+std::string AtomicTempPath(const std::string& path);
+
+}  // namespace dkc
+
+#endif  // DKC_IO_ATOMIC_FILE_H_

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "graph/graph_builder.h"
+#include "io/atomic_file.h"
 
 namespace dkc {
 namespace {
@@ -27,30 +28,66 @@ StatusOr<LineParse> ParseLine(const std::string& line, Count line_number) {
   }
   if (i == line.size() || line[i] == '#' || line[i] == '%') return out;
 
+  bool overflow = false;
   auto parse_uint = [&](uint64_t* value) -> bool {
     if (i >= line.size() || !std::isdigit(static_cast<unsigned char>(line[i]))) {
       return false;
     }
     uint64_t x = 0;
     while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
-      x = x * 10 + static_cast<uint64_t>(line[i] - '0');
+      const uint64_t digit = static_cast<uint64_t>(line[i] - '0');
+      // Ids at or past 2^64 must fail loudly, not wrap: a wrapped id
+      // silently aliases another node and corrupts the graph.
+      if (x > (UINT64_MAX - digit) / 10) {
+        overflow = true;
+        return false;
+      }
+      x = x * 10 + digit;
       ++i;
     }
     *value = x;
     return true;
   };
+  auto corruption = [&](const char* what) {
+    return Status::Corruption("line " + std::to_string(line_number) + ": " +
+                              what);
+  };
 
   if (!parse_uint(&out.u)) {
-    return Status::Corruption("line " + std::to_string(line_number) +
-                              ": expected integer node id");
+    return corruption(overflow ? "node id overflows 64 bits"
+                               : "expected integer node id");
   }
   while (i < line.size() &&
          (std::isspace(static_cast<unsigned char>(line[i])) || line[i] == ',')) {
     ++i;
   }
   if (!parse_uint(&out.v)) {
-    return Status::Corruption("line " + std::to_string(line_number) +
-                              ": expected second node id");
+    return corruption(overflow ? "node id overflows 64 bits"
+                               : "expected second node id");
+  }
+  // Anything after the two ids must look like the numeric extra columns
+  // KONECT/SNAP dumps carry (weights, timestamps — possibly signed,
+  // fractional, or in scientific notation). Words like "junk" mean the
+  // file is not an edge list; accepting the line would silently parse a
+  // wrong graph.
+  while (i < line.size()) {
+    const unsigned char c = static_cast<unsigned char>(line[i]);
+    if (std::isspace(c) || c == ',') {
+      ++i;
+      continue;
+    }
+    if (!std::isdigit(c) && c != '+' && c != '-' && c != '.') {
+      return corruption("trailing garbage after edge");
+    }
+    while (i < line.size()) {
+      const unsigned char t = static_cast<unsigned char>(line[i]);
+      if (std::isspace(t) || t == ',') break;
+      if (!std::isdigit(t) && t != '.' && t != 'e' && t != 'E' && t != '+' &&
+          t != '-') {
+        return corruption("trailing garbage after edge");
+      }
+      ++i;
+    }
   }
   out.has_edge = true;
   return out;
@@ -105,18 +142,15 @@ StatusOr<EdgeListReadResult> ParseEdgeList(const std::string& text) {
 }
 
 Status WriteEdgeList(const Graph& g, const std::string& path) {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
+  std::ostringstream out;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     for (NodeId v : g.Neighbors(u)) {
       if (u < v) out << u << ' ' << v << '\n';
     }
   }
-  out.flush();
-  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  // Atomic publish: an in-place write torn by a crash would later parse
+  // as a truncated-but-valid smaller graph — silent data loss.
+  return AtomicWriteFile(path, out.str());
 }
 
 }  // namespace dkc

@@ -20,9 +20,11 @@ struct EdgeListReadResult {
   Count self_loops_dropped = 0;
 };
 
-/// Read a whitespace-separated edge list from `path`. Extra columns after
-/// the first two (weights, timestamps — KONECT emits them) are ignored.
-/// Returns Corruption for lines that do not start with two integers.
+/// Read a whitespace-separated edge list from `path`. Extra *numeric*
+/// columns after the first two (weights, timestamps — KONECT emits them)
+/// are ignored. Returns Corruption, with the offending line number, for
+/// lines that do not start with two integers, carry non-numeric trailing
+/// tokens, or hold node ids that overflow 64 bits.
 StatusOr<EdgeListReadResult> ReadEdgeList(const std::string& path);
 
 /// Parse the same format from an in-memory string (used by tests and for
@@ -30,6 +32,7 @@ StatusOr<EdgeListReadResult> ReadEdgeList(const std::string& path);
 StatusOr<EdgeListReadResult> ParseEdgeList(const std::string& text);
 
 /// Write `g` as a "u v" edge list (u < v, one line per undirected edge).
+/// Published atomically (temp + rename): a crash never leaves a torn file.
 Status WriteEdgeList(const Graph& g, const std::string& path);
 
 }  // namespace dkc

@@ -1,23 +1,42 @@
 #include "io/solution_io.h"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "io/atomic_file.h"
+
 namespace dkc {
 namespace {
 
+// Comment/blank detection shared by header and body: comments may be
+// indented (tools that pretty-print solutions do that), and a line of
+// pure whitespace is as skippable as an empty one.
+bool IsCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;  // empty or all-whitespace
+}
+
 StatusOr<CliqueStore> ParseSolution(std::istream& in) {
   std::string line;
-  // Header.
+  // One counter across header and body: corruption errors must name the
+  // file's real line, including any leading comment lines.
+  Count line_number = 0;
   int k = 0;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    ++line_number;
+    if (IsCommentOrBlank(line)) continue;
     std::istringstream header(line);
     std::string magic, key;
     if (!(header >> magic >> key >> k) || magic != "dkclique-solution" ||
         key != "k" || k < 2) {
-      return Status::Corruption("bad solution header: '" + line + "'");
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": bad solution header: '" + line + "'");
     }
     break;
   }
@@ -25,10 +44,10 @@ StatusOr<CliqueStore> ParseSolution(std::istream& in) {
 
   CliqueStore store(k);
   std::vector<NodeId> nodes;
-  Count line_number = 1;
+  std::vector<NodeId> sorted;
   while (std::getline(in, line)) {
     ++line_number;
-    if (line.empty() || line[0] == '#') continue;
+    if (IsCommentOrBlank(line)) continue;
     std::istringstream row(line);
     nodes.clear();
     uint64_t id = 0;
@@ -38,6 +57,14 @@ StatusOr<CliqueStore> ParseSolution(std::istream& in) {
                                 ": expected " + std::to_string(k) +
                                 " node ids, got " +
                                 std::to_string(nodes.size()));
+    }
+    // A repeated id inside a row is a k-multiset, not a k-clique; the
+    // verifier downstream would reject it with a far less useful message.
+    sorted = nodes;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": duplicate node id in clique");
     }
     store.Add(nodes);
   }
@@ -61,14 +88,9 @@ std::string SolutionToString(const CliqueStore& set) {
 }
 
 Status WriteSolution(const CliqueStore& set, const std::string& path) {
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open '" + path + "' for writing");
-  }
-  out << SolutionToString(set);
-  out.flush();
-  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  // Atomic publish (see WriteEdgeList): a torn solution file would parse
+  // as a valid smaller solution and silently shrink the served grouping.
+  return AtomicWriteFile(path, SolutionToString(set));
 }
 
 StatusOr<CliqueStore> ReadSolution(const std::string& path) {

@@ -16,11 +16,14 @@
 
 namespace dkc {
 
-/// Write `set` to `path`. Overwrites.
+/// Write `set` to `path`. Overwrites, atomically (temp + rename) — a
+/// crash never leaves a torn file that parses as a smaller solution.
 Status WriteSolution(const CliqueStore& set, const std::string& path);
 
-/// Read a solution file. Returns Corruption on malformed content (bad
-/// header, wrong arity, non-numeric ids).
+/// Read a solution file. Returns Corruption, with the real line number
+/// (leading comments counted), on malformed content: bad header, wrong
+/// arity, non-numeric ids, or a duplicate id within a clique row.
+/// Comments may be indented.
 StatusOr<CliqueStore> ReadSolution(const std::string& path);
 
 /// In-memory variants (tests, embedding).

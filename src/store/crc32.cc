@@ -1,0 +1,32 @@
+#include "store/crc32.h"
+
+#include <array>
+
+namespace dkc {
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kCrcTable[(c ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dkc

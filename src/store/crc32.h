@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding every snapshot section and WAL record in the durable store.
+// Software table implementation; the store's payloads are megabytes at
+// most, far from needing the hardware CRC instructions.
+
+#ifndef DKC_STORE_CRC32_H_
+#define DKC_STORE_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dkc {
+
+/// CRC-32 of `data`. `seed` chains multi-buffer checksums: pass the
+/// previous call's result to continue (0 starts a fresh checksum).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace dkc
+
+#endif  // DKC_STORE_CRC32_H_

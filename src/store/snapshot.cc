@@ -1,0 +1,135 @@
+#include "store/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/atomic_file.h"
+#include "store/crc32.h"
+#include "util/binio.h"
+
+namespace dkc {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'K', 'C', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+// Section ids. Meta first so readers can report k/seq even when a later
+// section is damaged (they still refuse to load it).
+constexpr uint32_t kSectionMeta = 1;
+constexpr uint32_t kSectionGraph = 2;
+constexpr uint32_t kSectionState = 3;
+
+void AppendSection(std::string* out, uint32_t id, const std::string& payload) {
+  PutU32(out, id);
+  PutU64(out, payload.size());
+  PutU32(out, Crc32(payload));
+  out->append(payload);
+}
+
+Status Corrupt(const std::string& what, const std::string& path) {
+  return Status::Corruption("snapshot '" + path + "': " + what);
+}
+
+}  // namespace
+
+Status WriteSnapshot(const SolutionState& state, uint64_t applied_seq,
+                     const std::string& path) {
+  std::string meta;
+  PutU32(&meta, static_cast<uint32_t>(state.k()));
+  PutU64(&meta, applied_seq);
+  PutU64(&meta, state.graph().num_nodes());
+  PutU64(&meta, state.graph().num_edges());
+
+  std::string graph_blob;
+  state.SerializeGraphTo(&graph_blob);
+  std::string state_blob;
+  state.SerializeStateTo(&state_blob);
+
+  std::string file;
+  file.reserve(64 + meta.size() + graph_blob.size() + state_blob.size());
+  file.append(kMagic, sizeof(kMagic));
+  PutU32(&file, kFormatVersion);
+  PutU32(&file, 3);  // section count
+  AppendSection(&file, kSectionMeta, meta);
+  AppendSection(&file, kSectionGraph, graph_blob);
+  AppendSection(&file, kSectionState, state_blob);
+  PutU32(&file, Crc32(file));  // whole-file CRC
+
+  return AtomicWriteFile(path, file);
+}
+
+StatusOr<LoadedSnapshot> ReadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open snapshot '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("cannot read snapshot '" + path + "'");
+  const std::string file = buffer.str();
+
+  if (file.size() < sizeof(kMagic) + 12 ||
+      file.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic", path);
+  }
+  // Whole-file CRC first: any flip anywhere (header, section table,
+  // payloads) fails here before a single field is trusted.
+  const std::string_view body(file.data(), file.size() - 4);
+  ByteReader tail(std::string_view(file).substr(file.size() - 4));
+  if (Crc32(body) != tail.U32()) {
+    return Corrupt("whole-file checksum mismatch", path);
+  }
+
+  ByteReader reader(body);
+  reader.Bytes(sizeof(kMagic));
+  const uint32_t version = reader.U32();
+  if (version != kFormatVersion) {
+    return Corrupt("unsupported format version " + std::to_string(version),
+                   path);
+  }
+  const uint32_t sections = reader.U32();
+  std::string_view meta_blob, graph_blob, state_blob;
+  for (uint32_t i = 0; i < sections; ++i) {
+    const uint32_t id = reader.U32();
+    const uint64_t size = reader.U64();
+    const uint32_t crc = reader.U32();
+    const std::string_view payload = reader.Bytes(static_cast<size_t>(size));
+    if (reader.failed()) return Corrupt("truncated section table", path);
+    if (Crc32(payload) != crc) {
+      return Corrupt("section " + std::to_string(id) + " checksum mismatch",
+                     path);
+    }
+    switch (id) {
+      case kSectionMeta: meta_blob = payload; break;
+      case kSectionGraph: graph_blob = payload; break;
+      case kSectionState: state_blob = payload; break;
+      default: break;  // unknown sections tolerated (forward compat)
+    }
+  }
+  if (!reader.AtEnd()) return Corrupt("trailing bytes", path);
+  if (meta_blob.empty() || graph_blob.empty() || state_blob.empty()) {
+    return Corrupt("missing required section", path);
+  }
+
+  LoadedSnapshot loaded;
+  ByteReader meta(meta_blob);
+  loaded.meta.k = static_cast<int>(meta.U32());
+  loaded.meta.applied_seq = meta.U64();
+  loaded.meta.num_nodes = meta.U64();
+  loaded.meta.num_edges = meta.U64();
+  if (!meta.AtEnd()) return Corrupt("malformed meta section", path);
+
+  auto state = SolutionState::Deserialize(graph_blob, state_blob);
+  if (!state.ok()) {
+    return Corrupt(state.status().message(), path);
+  }
+  loaded.state = std::move(state).value();
+  if (loaded.meta.k != loaded.state->k() ||
+      loaded.meta.num_nodes != loaded.state->graph().num_nodes() ||
+      loaded.meta.num_edges != loaded.state->graph().num_edges()) {
+    return Corrupt("meta section disagrees with engine state", path);
+  }
+  return loaded;
+}
+
+}  // namespace dkc

@@ -1,0 +1,130 @@
+#include "store/store.h"
+
+#include <utility>
+
+#include "io/atomic_file.h"
+
+namespace dkc {
+
+StatusOr<DurableStore> DurableStore::Create(const Graph& g,
+                                            const std::string& snapshot_path,
+                                            const std::string& wal_path,
+                                            const StoreOptions& options) {
+  auto solver = DynamicSolver::Build(g, options.dynamic);
+  if (!solver.ok()) return solver.status();
+  DKC_RETURN_IF_ERROR(WriteSnapshot(solver->state(), 0, snapshot_path));
+  // Atomic reset rather than truncate: a stale WAL from a previous store
+  // at this path must not replay into the fresh one.
+  DKC_RETURN_IF_ERROR(AtomicWriteFile(wal_path, ""));
+  auto wal = WalWriter::Open(wal_path);
+  if (!wal.ok()) return wal.status();
+  return DurableStore(std::move(solver).value(), std::move(wal).value(),
+                      snapshot_path, wal_path, options);
+}
+
+StatusOr<DurableStore> DurableStore::Open(const std::string& snapshot_path,
+                                          const std::string& wal_path,
+                                          const StoreOptions& options) {
+  auto loaded = ReadSnapshot(snapshot_path);
+  if (!loaded.ok()) return loaded.status();
+
+  auto scan = ReadWal(wal_path);
+  if (!scan.ok()) return scan.status();
+  if (scan->torn_tail) {
+    DKC_RETURN_IF_ERROR(TruncateWal(wal_path, scan->valid_bytes));
+  }
+
+  DynamicOptions dynamic = options.dynamic;
+  dynamic.k = loaded->meta.k;
+  auto solver = DynamicSolver::FromState(std::move(loaded->state), dynamic);
+  if (!solver.ok()) return solver.status();
+
+  // Replay the tail past the snapshot. Records at or before applied_seq
+  // are already reflected (a crash can land between the snapshot publish
+  // and the WAL compaction of a checkpoint); anything else must chain
+  // consecutively from applied_seq.
+  uint64_t seq = loaded->meta.applied_seq;
+  uint64_t replayed = 0;
+  for (const WalRecord& rec : scan->records) {
+    if (rec.seq <= seq) continue;
+    if (rec.seq != seq + 1) {
+      return Status::Corruption(
+          "WAL '" + wal_path + "' starts at seq " + std::to_string(rec.seq) +
+          " but snapshot covers through " + std::to_string(seq));
+    }
+    const Status applied = rec.is_insert
+                               ? solver->InsertEdge(rec.u, rec.v)
+                               : solver->DeleteEdge(rec.u, rec.v);
+    if (!applied.ok()) {
+      // Apply validates before logging, so every logged record must
+      // apply cleanly to the deterministic replay state.
+      return Status::Corruption("WAL '" + wal_path + "' record seq " +
+                                std::to_string(rec.seq) +
+                                " rejected on replay: " + applied.ToString());
+    }
+    seq = rec.seq;
+    ++replayed;
+  }
+
+  auto wal = WalWriter::Open(wal_path);
+  if (!wal.ok()) return wal.status();
+  DurableStore store(std::move(solver).value(), std::move(wal).value(),
+                     snapshot_path, wal_path, options);
+  store.applied_seq_ = seq;
+  store.checkpoint_seq_ = loaded->meta.applied_seq;
+  store.replayed_records_ = replayed;
+  store.recovered_torn_tail_ = scan->torn_tail;
+  return store;
+}
+
+Status DurableStore::Apply(const UpdateOp& op) {
+  const auto [u, v] = op.edge;
+  // Validate against the live graph before logging: the WAL must contain
+  // only records that replay cleanly.
+  if (op.is_insert) {
+    if (u == v) return Status::InvalidArgument("self loop");
+    if (solver_->graph().HasEdge(u, v)) {
+      return Status::InvalidArgument("edge already present");
+    }
+  } else if (!solver_->graph().HasEdge(u, v)) {
+    return Status::NotFound("edge does not exist");
+  }
+
+  WalRecord rec;
+  rec.seq = applied_seq_ + 1;
+  rec.is_insert = op.is_insert;
+  rec.u = u;
+  rec.v = v;
+  DKC_RETURN_IF_ERROR(wal_->Append(rec, options_.sync_every_append));
+
+  const Status applied =
+      op.is_insert ? solver_->InsertEdge(u, v) : solver_->DeleteEdge(u, v);
+  if (!applied.ok()) {
+    return Status::Internal("validated update rejected by engine: " +
+                            applied.ToString());
+  }
+  applied_seq_ = rec.seq;
+
+  if (options_.checkpoint_every > 0 &&
+      applied_seq_ - checkpoint_seq_ >= options_.checkpoint_every) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status DurableStore::Checkpoint() {
+  DKC_RETURN_IF_ERROR(
+      WriteSnapshot(solver_->state(), applied_seq_, snapshot_path_));
+  // The snapshot now covers every logged record; compact the WAL. Crash
+  // before this point: Open skips the covered records by seq.
+  wal_.reset();  // close before replacing the inode
+  DKC_RETURN_IF_ERROR(AtomicWriteFile(wal_path_, ""));
+  auto wal = WalWriter::Open(wal_path_);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(wal).value();
+  checkpoint_seq_ = applied_seq_;
+  ++checkpoints_taken_;
+  return Status::OK();
+}
+
+}  // namespace dkc

@@ -1,0 +1,110 @@
+// DurableStore — the serving foundation: a DynamicSolver whose state
+// survives the process.
+//
+// Durability contract:
+//  * Apply = validate → WAL append (fsync) → in-memory engine apply. An
+//    acknowledged update is on disk before it is visible in memory.
+//  * Checkpoint = atomic snapshot publish (at the current seq), then WAL
+//    compaction to empty. A crash between the two leaves WAL records the
+//    snapshot already covers; recovery skips them by sequence number.
+//  * Open = load snapshot, scan WAL (truncating a torn tail), replay the
+//    records past the snapshot's seq through the engine. Because the
+//    snapshot captures the engine state verbatim and every update is
+//    deterministic, the recovered solver is byte-identical to the one
+//    that never crashed — same solution, same candidate index, same
+//    future tie-breaks (store_test pins this at injected kill points).
+//    Deterministic replay presumes deterministic budgets: a wall-clock
+//    update_budget.time_ms waives byte-identity (max_branch_nodes keeps
+//    it).
+//
+// Corruption is never repaired silently: a bit-flipped snapshot section or
+// WAL record fails Open with Corruption. Only a *torn tail* — the unique
+// signature of a crash mid-append — is truncated away.
+
+#ifndef DKC_STORE_STORE_H_
+#define DKC_STORE_STORE_H_
+
+#include <optional>
+#include <string>
+
+#include "dynamic/dynamic_solver.h"
+#include "dynamic/workload.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+namespace dkc {
+
+struct StoreOptions {
+  /// Engine configuration. On Create, dynamic.k selects the solve; on
+  /// Open, k comes from the snapshot and dynamic.k is overridden.
+  DynamicOptions dynamic;
+  /// Auto-checkpoint after this many applied updates (0 = manual only).
+  uint64_t checkpoint_every = 0;
+  /// fsync the WAL on every Append. Turning this off trades the
+  /// acknowledged-updates-survive guarantee for throughput (recovery is
+  /// still correct, it just replays a shorter intact prefix).
+  bool sync_every_append = true;
+};
+
+class DurableStore {
+ public:
+  /// Bootstrap a new store: solve `g` statically (options.dynamic), write
+  /// the initial snapshot at seq 0 and an empty WAL. Overwrites any
+  /// existing files at the two paths.
+  static StatusOr<DurableStore> Create(const Graph& g,
+                                       const std::string& snapshot_path,
+                                       const std::string& wal_path,
+                                       const StoreOptions& options);
+
+  /// Crash recovery: snapshot + WAL tail replay (see header comment).
+  static StatusOr<DurableStore> Open(const std::string& snapshot_path,
+                                     const std::string& wal_path,
+                                     const StoreOptions& options);
+
+  /// Log and apply one edge update. InvalidArgument/NotFound for updates
+  /// the engine would reject (nothing is logged for those).
+  Status Apply(const UpdateOp& op);
+
+  /// Snapshot now and compact the WAL.
+  Status Checkpoint();
+
+  DynamicSolver& solver() { return *solver_; }
+  const DynamicSolver& solver() const { return *solver_; }
+
+  /// Sequence number of the last applied update (0 = none yet).
+  uint64_t applied_seq() const { return applied_seq_; }
+  /// applied_seq of the most recent snapshot.
+  uint64_t checkpoint_seq() const { return checkpoint_seq_; }
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+
+  /// Recovery accounting from Open (zero after Create).
+  uint64_t replayed_records() const { return replayed_records_; }
+  bool recovered_torn_tail() const { return recovered_torn_tail_; }
+
+  const std::string& snapshot_path() const { return snapshot_path_; }
+  const std::string& wal_path() const { return wal_path_; }
+
+ private:
+  DurableStore(DynamicSolver solver, WalWriter wal, std::string snapshot_path,
+               std::string wal_path, const StoreOptions& options)
+      : solver_(std::move(solver)),
+        wal_(std::move(wal)),
+        snapshot_path_(std::move(snapshot_path)),
+        wal_path_(std::move(wal_path)),
+        options_(options) {}
+
+  std::optional<DynamicSolver> solver_;  // engaged for the object's lifetime
+  std::optional<WalWriter> wal_;
+  std::string snapshot_path_;
+  std::string wal_path_;
+  StoreOptions options_;
+  uint64_t applied_seq_ = 0;
+  uint64_t checkpoint_seq_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t replayed_records_ = 0;
+  bool recovered_torn_tail_ = false;
+};
+
+}  // namespace dkc
+
+#endif  // DKC_STORE_STORE_H_

@@ -1,0 +1,107 @@
+#include "store/wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "store/crc32.h"
+#include "util/binio.h"
+
+namespace dkc {
+
+std::string EncodeWalRecord(const WalRecord& rec) {
+  std::string out;
+  out.reserve(kWalRecordBytes);
+  PutU8(&out, rec.is_insert ? 1 : 0);
+  PutU32(&out, rec.u);
+  PutU32(&out, rec.v);
+  PutU64(&out, rec.seq);
+  PutU32(&out, Crc32(out));
+  return out;
+}
+
+StatusOr<WalWriter> WalWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError("cannot open WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return WalWriter(file, path);
+}
+
+Status WalWriter::Append(const WalRecord& rec, bool sync) {
+  const std::string encoded = EncodeWalRecord(rec);
+  if (std::fwrite(encoded.data(), 1, encoded.size(), file_.get()) !=
+      encoded.size()) {
+    return Status::IOError("WAL append to '" + path_ + "' failed");
+  }
+  if (sync) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (std::fflush(file_.get()) != 0 || ::fsync(fileno(file_.get())) != 0) {
+    return Status::IOError("WAL sync of '" + path_ + "' failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<WalReadResult> ReadWal(const std::string& path) {
+  WalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return result;  // no WAL yet — empty log
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("cannot read WAL '" + path + "'");
+  const std::string data = buffer.str();
+
+  size_t pos = 0;
+  bool have_prev = false;
+  uint64_t prev_seq = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < kWalRecordBytes) {
+      // Torn append: the crash cut the final write short.
+      result.torn_tail = true;
+      break;
+    }
+    const std::string_view raw(data.data() + pos, kWalRecordBytes);
+    ByteReader reader(raw);
+    WalRecord rec;
+    rec.is_insert = reader.U8() != 0;
+    rec.u = reader.U32();
+    rec.v = reader.U32();
+    rec.seq = reader.U64();
+    const uint32_t stored_crc = reader.U32();
+    if (Crc32(raw.substr(0, kWalRecordBytes - 4)) != stored_crc) {
+      // A complete record never tears (single append-only write), so a
+      // bad CRC here is corruption, not a crash artifact.
+      return Status::Corruption(
+          "WAL '" + path + "': checksum mismatch in record at byte " +
+          std::to_string(pos));
+    }
+    if (have_prev && rec.seq != prev_seq + 1) {
+      return Status::Corruption("WAL '" + path +
+                                "': sequence gap after seq " +
+                                std::to_string(prev_seq));
+    }
+    have_prev = true;
+    prev_seq = rec.seq;
+    result.records.push_back(rec);
+    pos += kWalRecordBytes;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    return Status::IOError("cannot truncate WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace dkc

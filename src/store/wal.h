@@ -1,0 +1,91 @@
+// Write-ahead log of edge updates, the durability half of the store.
+//
+// The file is a sequence of fixed-size records:
+//
+//   [1] op (0 = delete, 1 = insert)
+//   [4] u  (u32)            [4] v (u32)
+//   [8] seq (u64, strictly consecutive)
+//   [4] CRC-32 of the previous 17 bytes
+//
+// Records are appended with a single write and (by default) fsynced before
+// the in-memory engine applies the update, so a crash loses at most work
+// that was never acknowledged. Recovery semantics, modeled on classic WAL
+// discipline:
+//
+//  * a *partial* record at EOF is a torn append — the crash cut the final
+//    write short. The scan truncates it away and reports torn_tail; every
+//    complete record before it is intact (per-record CRC) and replayed.
+//  * a *complete* record with a bad CRC, or a sequence-number gap, is
+//    Corruption: appends are single writes to an append-only file, so a
+//    short tail is the only state a crash can produce — anything else is
+//    bit rot or tampering, and replaying past it would silently fork the
+//    solution. Nothing is loaded.
+
+#ifndef DKC_STORE_WAL_H_
+#define DKC_STORE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dkc {
+
+struct WalRecord {
+  uint64_t seq = 0;
+  bool is_insert = false;
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// Bytes per encoded record (fixed-size format).
+inline constexpr size_t kWalRecordBytes = 21;
+
+/// Encode `rec` (exposed for tests that fabricate torn/corrupt tails).
+std::string EncodeWalRecord(const WalRecord& rec);
+
+/// Appender. Not thread-safe; the store serializes access.
+class WalWriter {
+ public:
+  /// Open `path` for appending (created if missing).
+  static StatusOr<WalWriter> Open(const std::string& path);
+
+  /// Append one record. With `sync`, the record is flushed and fsynced
+  /// before returning — the durability point of the store's Apply.
+  Status Append(const WalRecord& rec, bool sync = true);
+
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit WalWriter(std::FILE* file, std::string path)
+      : file_(file, &std::fclose), path_(std::move(path)) {}
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  std::string path_;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Byte length of the intact prefix (everything after is torn).
+  uint64_t valid_bytes = 0;
+  /// True iff a partial record at EOF was dropped.
+  bool torn_tail = false;
+};
+
+/// Scan `path`. A missing file yields an empty result (a fresh store has
+/// no WAL yet); a torn tail is reported, a mid-file corruption returned as
+/// Corruption (see header comment for the distinction).
+StatusOr<WalReadResult> ReadWal(const std::string& path);
+
+/// Truncate `path` to `valid_bytes` — recovery's torn-tail cut.
+Status TruncateWal(const std::string& path, uint64_t valid_bytes);
+
+}  // namespace dkc
+
+#endif  // DKC_STORE_WAL_H_

@@ -1,0 +1,100 @@
+// Little-endian binary encode/decode helpers shared by the persistence
+// layer (store/) and the engine-state serializer (dynamic/state_serde.cc).
+//
+// Writers append to a std::string (the unit the atomic-publish and CRC
+// helpers operate on); the reader is a bounds-checked cursor that latches a
+// failure bit instead of reading past the end, so decoders can chain reads
+// and test ok() once.
+
+#ifndef DKC_UTIL_BINIO_H_
+#define DKC_UTIL_BINIO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dkc {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+/// Bounds-checked little-endian cursor over a byte buffer. Any read past
+/// the end latches failed() and yields zeros; callers check ok() at the
+/// end of a decode instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return !failed_; }
+  bool failed() const { return failed_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return failed_ ? 0 : data_.size() - pos_; }
+  /// True iff the whole buffer was consumed without a bounds fault.
+  bool AtEnd() const { return !failed_ && pos_ == data_.size(); }
+
+  uint8_t U8() {
+    if (!Ensure(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t U32() {
+    if (!Ensure(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Ensure(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  /// A view over the next `n` bytes (empty view + failure latch if short).
+  std::string_view Bytes(size_t n) {
+    if (!Ensure(n)) return {};
+    std::string_view view = data_.substr(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+ private:
+  bool Ensure(size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace dkc
+
+#endif  // DKC_UTIL_BINIO_H_

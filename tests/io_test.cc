@@ -79,6 +79,53 @@ TEST(EdgeListParseTest, MissingSecondIdIsCorruption) {
   EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
 }
 
+TEST(EdgeListParseTest, OverflowingIdIsCorruption) {
+  // 2^64 exactly — one past UINT64_MAX. The old parser wrapped it to 0
+  // and silently aliased node 0.
+  auto result = ParseEdgeList("0 1\n18446744073709551616 2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("overflow"), std::string::npos);
+  // A much longer digit string must fail too, not wrap several times.
+  EXPECT_FALSE(ParseEdgeList("99999999999999999999999999 2\n").ok());
+}
+
+TEST(EdgeListParseTest, MaxIdStillParses) {
+  // UINT64_MAX itself is a valid (remapped) id.
+  auto result = ParseEdgeList("18446744073709551615 2\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->graph.num_edges(), 1u);
+}
+
+TEST(EdgeListParseTest, OverflowingSecondIdIsCorruption) {
+  auto result = ParseEdgeList("1 18446744073709551616\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+}
+
+TEST(EdgeListParseTest, TrailingGarbageIsCorruption) {
+  // The old parser accepted any suffix after the second id.
+  auto result = ParseEdgeList("0 1\n1 2 junk\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(EdgeListParseTest, GarbageGluedToSecondIdIsCorruption) {
+  EXPECT_FALSE(ParseEdgeList("1 2x\n").ok());
+  EXPECT_FALSE(ParseEdgeList("1 2 3.5abc\n").ok());
+}
+
+TEST(EdgeListParseTest, NumericExtraColumnsStillAccepted) {
+  // Weights/timestamps in every shape KONECT emits: signed, fractional,
+  // scientific. These must keep parsing (the documented contract).
+  auto result = ParseEdgeList("1 2 -1.5 1092837\n2 3 6.02e23\n3 4 +7,8\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->graph.num_edges(), 3u);
+}
+
 TEST(EdgeListParseTest, EmptyInputYieldsEmptyGraph) {
   auto result = ParseEdgeList("");
   ASSERT_TRUE(result.ok());
@@ -108,6 +155,25 @@ TEST(EdgeListFileTest, WriteToBadPathFails) {
   Graph g = testing::RandomGraph(5, 0.5, /*seed=*/41);
   EXPECT_EQ(WriteEdgeList(g, "/nonexistent_dir/x.txt").code(),
             Status::Code::kIOError);
+}
+
+TEST(EdgeListFileTest, WriteLeavesNoTempFile) {
+  Graph g = testing::RandomGraph(10, 0.4, /*seed=*/42);
+  const std::string path = ::testing::TempDir() + "/dkc_atomic_edges.txt";
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  // The atomic-publish temp must be renamed away, and a stale temp from a
+  // simulated earlier crash must be overwritten by the next write.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").is_open());
+  {
+    std::ofstream stale(path + ".tmp");
+    stale << "0 1\ntorn";
+  }
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").is_open());
+  auto result = ReadEdgeList(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.num_edges(), g.num_edges());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -70,6 +70,38 @@ TEST(SolutionIoTest, BadKIsCorruption) {
   EXPECT_FALSE(SolutionFromString("dkclique-solution q 3\n").ok());
 }
 
+TEST(SolutionIoTest, LineNumbersCountLeadingComments) {
+  // Two comment lines, then the header on line 3, body on line 4. The old
+  // parser restarted its counter after the header and reported "line 1".
+  auto parsed = SolutionFromString(
+      "# a\n# b\ndkclique-solution k 3\n1 2\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(parsed.status().message().find("line 4"), std::string::npos);
+}
+
+TEST(SolutionIoTest, HeaderErrorNamesRealLine) {
+  auto parsed = SolutionFromString("# preamble\nnot-a-header\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SolutionIoTest, DuplicateNodeInCliqueIsCorruption) {
+  auto parsed = SolutionFromString("dkclique-solution k 3\n1 2 1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(parsed.status().message().find("duplicate"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SolutionIoTest, IndentedCommentsSkipped) {
+  auto parsed = SolutionFromString(
+      "  # indented preamble\ndkclique-solution k 3\n\t# indented note\n"
+      "1 2 3\n   \n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
 TEST(SolutionIoTest, MissingFileIsIOError) {
   EXPECT_EQ(ReadSolution("/no/such/file").status().code(),
             Status::Code::kIOError);

@@ -14,6 +14,15 @@
 //              [--update-budget-ms=x] [--update-branch-budget=n]
 //       dynamic maintenance over a synthetic mixed insert/delete stream,
 //       reporting per-update latency, swap activity, and budget aborts
+//   dkc serve --snapshot=s.bin --wal=s.wal --file=edges.txt --k=3
+//             [--churn=2000 | --updates-from=path|-] [--checkpoint-every=n]
+//             [--no-sync] [--crash-after=n]
+//       durable serving loop: bootstrap (or crash-recover) a persistent
+//       store, ingest an update stream, checkpoint periodically, compact
+//       the WAL on exit. --churn regenerates the same deterministic stream
+//       on every invocation, so a recovered process resumes mid-stream;
+//       --crash-after=n injects a kill (_exit) after n applied updates for
+//       recovery drills.
 //
 // All subcommands also accept --ws=n,degree,beta to synthesize a
 // Watts-Strogatz graph instead of --file (handy without datasets), and
@@ -21,9 +30,16 @@
 // solve method, and the dynamic engine's per-update fan-outs) across n
 // worker threads; solutions are byte-identical at any thread count.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "clique/kclique.h"
 #include "core/residual_cover.h"
@@ -37,6 +53,7 @@
 #include "io/edge_list.h"
 #include "io/solution_io.h"
 #include "matching/matching.h"
+#include "store/store.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -45,7 +62,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dkc <stats|solve|verify|cover|match|update> [flags]\n"
+               "usage: dkc <stats|solve|verify|cover|match|update|serve> "
+               "[flags]\n"
                "  --file=<edge list>  or  --ws=<n>,<degree>,<beta>\n"
                "  --threads=<n>  worker pool for stats/solve/update "
                "(default 1)\n"
@@ -56,7 +74,11 @@ int Usage() {
                "  match:  [--exact]\n"
                "  stats:  [--kmin=3 --kmax=6]\n"
                "  update: --k=3 [--updates=2000] [--update-budget-ms=x]\n"
-               "          [--update-branch-budget=n] [--rebuild-min-slots=n]\n");
+               "          [--update-branch-budget=n] [--rebuild-min-slots=n]\n"
+               "  serve:  --snapshot=path --wal=path --k=3\n"
+               "          [--churn=n | --updates-from=path|-]\n"
+               "          [--checkpoint-every=n] [--no-sync] "
+               "[--crash-after=n] [--no-skip]\n");
   return 2;
 }
 
@@ -279,6 +301,165 @@ int RunUpdate(const dkc::Flags& flags, const dkc::Graph& g) {
   return 0;
 }
 
+// "i u v" / "d u v" per line ('+'/'-'/insert/delete also accepted), '#'
+// comments. The textual twin of the WAL record, for piping streams in.
+dkc::StatusOr<std::vector<dkc::UpdateOp>> ReadUpdateStream(std::istream& in) {
+  std::vector<dkc::UpdateOp> ops;
+  std::string line;
+  dkc::Count line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream row(line);
+    std::string op;
+    if (!(row >> op) || op[0] == '#') continue;
+    dkc::UpdateOp update;
+    if (op == "i" || op == "+" || op == "insert") {
+      update.is_insert = true;
+    } else if (op == "d" || op == "-" || op == "delete") {
+      update.is_insert = false;
+    } else {
+      return dkc::Status::Corruption("update stream line " +
+                                     std::to_string(line_number) +
+                                     ": bad op '" + op + "'");
+    }
+    if (!(row >> update.edge.first >> update.edge.second)) {
+      return dkc::Status::Corruption("update stream line " +
+                                     std::to_string(line_number) +
+                                     ": expected two node ids");
+    }
+    ops.push_back(update);
+  }
+  return ops;
+}
+
+int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
+  const std::string snapshot = flags.GetString("snapshot", "");
+  const std::string wal = flags.GetString("wal", "");
+  if (snapshot.empty() || wal.empty()) {
+    std::fprintf(stderr, "serve: --snapshot and --wal are required\n");
+    return Usage();
+  }
+
+  dkc::StoreOptions options;
+  options.dynamic.k = static_cast<int>(flags.GetInt("k", 3));
+  options.dynamic.update_budget.time_ms =
+      flags.GetDouble("update-budget-ms", 0);
+  options.dynamic.update_budget.max_branch_nodes =
+      static_cast<uint64_t>(flags.GetInt("update-branch-budget", 0));
+  const auto pool = MakePool(flags);
+  options.dynamic.pool = pool.get();
+  options.checkpoint_every =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-every", 0));
+  options.sync_every_append = !flags.GetBool("no-sync", false);
+
+  // Recover if a snapshot is already published at the path, else bootstrap
+  // from the loaded graph.
+  std::optional<dkc::DurableStore> store;
+  if (std::ifstream(snapshot).is_open()) {
+    auto opened = dkc::DurableStore::Open(snapshot, wal, options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "serve: recovery failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(opened).value();
+    std::printf("recovered: seq=%llu, %llu WAL records replayed%s, |S|=%u\n",
+                static_cast<unsigned long long>(store->applied_seq()),
+                static_cast<unsigned long long>(store->replayed_records()),
+                store->recovered_torn_tail() ? " (torn tail truncated)" : "",
+                store->solver().solution_size());
+  } else {
+    auto created = dkc::DurableStore::Create(g, snapshot, wal, options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "serve: bootstrap failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(created).value();
+    std::printf("created: |S|=%u, snapshot at %s\n",
+                store->solver().solution_size(), snapshot.c_str());
+  }
+
+  // Ingest: a deterministic churn stream (regenerated identically on every
+  // invocation, so recovery resumes mid-stream by skipping the prefix the
+  // store already holds) or a textual update file / stdin.
+  std::vector<dkc::UpdateOp> ops;
+  const long churn = static_cast<long>(flags.GetInt("churn", 0));
+  const std::string from = flags.GetString("updates-from", "");
+  if (churn > 0) {
+    dkc::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0x5E17);
+    ops = dkc::MakeChurnStream(g, static_cast<size_t>(churn), rng);
+  } else if (!from.empty()) {
+    dkc::StatusOr<std::vector<dkc::UpdateOp>> parsed = [&] {
+      if (from == "-") return ReadUpdateStream(std::cin);
+      std::ifstream in(from);
+      if (!in.is_open()) {
+        return dkc::StatusOr<std::vector<dkc::UpdateOp>>(
+            dkc::Status::IOError("cannot open '" + from + "'"));
+      }
+      return ReadUpdateStream(in);
+    }();
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "serve: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    ops = std::move(parsed).value();
+  }
+
+  // The stream is positional history: entry i carries seq i+1, and a
+  // recovered store skips the prefix it already holds. --no-skip declares
+  // the stream to be *new* ops instead (e.g. piping fresh updates into an
+  // existing store via --updates-from=-).
+  const uint64_t skip =
+      flags.GetBool("no-skip", false)
+          ? 0
+          : std::min<uint64_t>(store->applied_seq(), ops.size());
+  const long crash_after = static_cast<long>(flags.GetInt("crash-after", 0));
+  dkc::Timer timer;
+  uint64_t applied = 0;
+  for (size_t i = static_cast<size_t>(skip); i < ops.size(); ++i) {
+    const dkc::Status status = store->Apply(ops[i]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve: op %zu: %s\n", i,
+                   status.ToString().c_str());
+      return 1;
+    }
+    ++applied;
+    if (crash_after > 0 && applied >= static_cast<uint64_t>(crash_after)) {
+      // Recovery drill: die without flushing or checkpointing. The WAL's
+      // per-append fsync is the only thing allowed to save us.
+      std::fprintf(stderr, "crash injection after %llu updates\n",
+                   static_cast<unsigned long long>(applied));
+      std::_Exit(3);
+    }
+  }
+  const double total_ms = timer.ElapsedMillis();
+  if (applied > 0) {
+    std::printf("applied %llu updates in %.1f ms (%.0f ns/update, "
+                "%llu checkpoints)\n",
+                static_cast<unsigned long long>(applied), total_ms,
+                1e6 * total_ms / static_cast<double>(applied),
+                static_cast<unsigned long long>(store->checkpoints_taken()));
+    const dkc::Status final_checkpoint = store->Checkpoint();
+    if (!final_checkpoint.ok()) {
+      std::fprintf(stderr, "serve: final checkpoint: %s\n",
+                   final_checkpoint.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const dkc::Status valid = dkc::VerifySolution(
+      store->solver().graph().ToGraph(), store->solver().Snapshot());
+  if (!valid.ok()) {
+    std::fprintf(stderr, "internal error, invalid solution: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  std::printf("final |S|=%u seq=%llu\n", store->solver().solution_size(),
+              static_cast<unsigned long long>(store->applied_seq()));
+  return 0;
+}
+
 int RunMatch(const dkc::Flags& flags, const dkc::Graph& g) {
   dkc::Timer timer;
   const bool exact = flags.GetBool("exact", false);
@@ -310,5 +491,6 @@ int main(int argc, char** argv) {
   if (command == "cover") return RunCover(flags, *graph);
   if (command == "match") return RunMatch(flags, *graph);
   if (command == "update") return RunUpdate(flags, *graph);
+  if (command == "serve") return RunServe(flags, *graph);
   return Usage();
 }

@@ -8,10 +8,14 @@
 #define DKC_DYNAMIC_DYNAMIC_SOLVER_H_
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/solver.h"
 #include "dynamic/candidate_index.h"
+#include "dynamic/solution_view.h"
 #include "dynamic/swap.h"
+#include "dynamic/workload.h"
 #include "util/status.h"
 
 namespace dkc {
@@ -65,6 +69,45 @@ struct UpdateStats {
   bool aborted() const { return swaps.aborted || rebuild_cuts > 0; }
 };
 
+/// Per-update slice of an ApplyBatch epoch (see BatchStats::per_update).
+struct BatchUpdateStats {
+  bool is_insert = false;
+  Edge edge{0, 0};
+  /// Meter units charged while staging this op (mandatory structural work:
+  /// candidate kills, repair packing — rebuilds are charged at the
+  /// boundary, not per update).
+  uint64_t staged_work = 0;
+  /// Dirty slots this op marked *first* (later ops touching the same slot
+  /// mark nothing — that sharing is the rebuild dedup).
+  uint32_t slots_marked = 0;
+  /// Insert materialized a brand-new all-free clique directly.
+  bool direct_add = false;
+  /// Delete broke a solution clique; the mandatory repair ran.
+  bool repaired = false;
+};
+
+/// Outcome of the most recent ApplyBatch epoch: per-epoch aggregates (the
+/// epoch shares one deterministic UpdateWork meter, scaled to the batch
+/// size) plus the per-update breakdown. After an ApplyBatch the epoch
+/// aggregate is also folded into last_update_stats()/aborted_updates(),
+/// one epoch counting as one "update" there.
+struct BatchStats {
+  size_t updates = 0;
+  size_t inserts = 0;
+  size_t deletes = 0;
+  /// Deduped boundary rebuild fan-out: dirty slots rebuilt once each,
+  /// however many updates in the epoch touched them. dirty_slots <
+  /// slots-marked-summed-over-updates is the measurable dedup win on
+  /// bursty neighborhoods.
+  size_t dirty_slots = 0;
+  uint64_t work = 0;          // whole-epoch meter total
+  uint64_t rebuild_cuts = 0;  // boundary rebuilds the cap truncated
+  SwapStats swaps;            // the boundary swap loop
+  std::vector<BatchUpdateStats> per_update;
+
+  bool aborted() const { return swaps.aborted || rebuild_cuts > 0; }
+};
+
 class DynamicSolver {
  public:
   /// Solve `g` statically, then index it. Fails if the static solve fails.
@@ -97,6 +140,60 @@ class DynamicSolver {
 
   /// Algorithm 7. Returns NotFound if the edge does not exist.
   Status DeleteEdge(NodeId u, NodeId v);
+
+  /// Epoch-batched apply — the high-throughput ingestion path. Validates
+  /// the whole batch up front (ValidateBatch) and rejects it atomically,
+  /// state untouched, if any op is invalid. Otherwise every op's
+  /// *mandatory* structural effect is applied in stream order (graph
+  /// mutation, candidate kills through deleted edges, broken-clique
+  /// repair, direct adds of brand-new all-free cliques), while candidate
+  /// rebuilds are only *marked*; at the epoch boundary each dirty slot is
+  /// rebuilt exactly once via a single RebuildCandidatesForMany fan-out —
+  /// the dedup win on bursty streams, and batches finally big enough to
+  /// feed parallel_rebuild_min_slots — followed by one swap loop and an
+  /// atomic SolutionView publish.
+  ///
+  /// Determinism contract: batch boundaries are part of the stream. The
+  /// epoch shares one UpdateWork meter whose deterministic cap scales to
+  /// the batch (update_budget.max_branch_nodes × ops.size()) with the
+  /// same schedule-independent abort boundaries, so for a fixed stream
+  /// *and fixed batching* the outcome is byte-identical at any thread
+  /// count; ApplyBatch of a single op is byte-identical to the
+  /// corresponding InsertEdge/DeleteEdge. An empty batch is a no-op (no
+  /// epoch, no publish).
+  Status ApplyBatch(std::span<const UpdateOp> ops);
+
+  /// The batch-level precondition check ApplyBatch runs: each op must be
+  /// valid on the graph as left by the ops before it (self loops,
+  /// duplicate inserts, deletes of absent edges — including intra-batch
+  /// duplicates and conflicts). Exposed so the durable store can validate
+  /// before logging. Errors name the offending op index.
+  Status ValidateBatch(std::span<const UpdateOp> ops) const;
+
+  /// Stats of the most recent successful ApplyBatch (reset to empty by an
+  /// errored call — no stale per-update entries survive a rejected batch).
+  const BatchStats& last_batch_stats() const { return last_batch_; }
+  /// Lifetime batched-ingestion counters: epochs applied, updates applied
+  /// through them, and deduped dirty-slot rebuilds at their boundaries
+  /// (batch_dirty_rebuilds < batched_updates_applied on bursty streams is
+  /// the dedup headline).
+  uint64_t batches_applied() const { return batches_applied_; }
+  uint64_t batched_updates_applied() const { return batched_updates_; }
+  uint64_t batch_dirty_rebuilds() const { return batch_dirty_rebuilds_; }
+
+  /// Epochs published (0 until the first ApplyBatch; Build publishes the
+  /// initial solution as epoch 0).
+  uint64_t epoch() const { return epoch_; }
+  /// The last published read snapshot — lock-free for readers; never
+  /// blocks on (and is never torn by) a concurrent ApplyBatch. See
+  /// solution_view.h.
+  std::shared_ptr<const SolutionView> published_view() const {
+    return publisher_->Current();
+  }
+  /// Re-publish the current state under the current epoch. The unbatched
+  /// InsertEdge/DeleteEdge paths do not publish automatically; callers
+  /// mixing them with concurrent readers publish at their own boundaries.
+  void PublishView();
 
   NodeId solution_size() const { return state_->solution_size(); }
   Count index_size() const { return state_->num_alive_candidates(); }
@@ -135,11 +232,21 @@ class DynamicSolver {
       : state_(std::move(state)),
         build_stats_(stats),
         update_budget_(options.update_budget),
-        pool_(options.pool) {}
+        pool_(options.pool),
+        publisher_(std::make_unique<SolutionPublisher>()) {
+    PublishView();  // readers always have a view, epoch 0 = the build
+  }
 
   // Finds one k-clique containing both u and v with every node free;
   // fills `clique` and returns true if found (Algorithm 6, lines 7-9).
   bool FindFreeCliqueWithEdge(NodeId u, NodeId v, std::vector<NodeId>* clique);
+
+  // The owners of would-be candidate cliques through the new edge (u,v) —
+  // the exact Algorithm-6 lines 12-15 enumeration (both endpoints free, no
+  // all-free clique found), sorted, deduped, dead slots dropped. Uncharged:
+  // the rebuilds it feeds carry the meter. Shared verbatim by the serial
+  // path and the batched staging so their dirty sets agree bit-for-bit.
+  std::vector<uint32_t> CollectOwnersOfNewCandidates(NodeId u, NodeId v) const;
 
   // Registers the owners of would-be candidate cliques through the new
   // edge (u,v), charging `meter`, and pushes the ones that gained
@@ -154,9 +261,18 @@ class DynamicSolver {
   DynamicBuildStats build_stats_;
   Budget update_budget_;
   ThreadPool* pool_ = nullptr;
+  // unique_ptr keeps the publisher's address stable across solver moves —
+  // readers hold the publisher, not the solver.
+  std::unique_ptr<SolutionPublisher> publisher_;
   SwapStats swap_stats_;
   UpdateStats last_update_;
+  BatchStats last_batch_;
   uint64_t aborted_updates_ = 0;
+  uint64_t updates_applied_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t batches_applied_ = 0;
+  uint64_t batched_updates_ = 0;
+  uint64_t batch_dirty_rebuilds_ = 0;
 };
 
 }  // namespace dkc

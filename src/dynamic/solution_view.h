@@ -1,0 +1,86 @@
+// Non-blocking read snapshots of the dynamic solution.
+//
+// The batched ingestion path publishes an immutable SolutionView at every
+// epoch boundary via an atomic shared_ptr swap (the classic double-buffer:
+// writers build the next view off to the side, readers keep whatever view
+// they grabbed alive for as long as they hold the pointer). Readers —
+// `dkc serve` queries, top-k scores — therefore never block on writers and
+// never observe a half-applied epoch: a view is always the exact solution
+// at some epoch boundary of the update stream.
+
+#ifndef DKC_DYNAMIC_SOLUTION_VIEW_H_
+#define DKC_DYNAMIC_SOLUTION_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clique/clique_store.h"
+#include "graph/graph.h"
+
+namespace dkc {
+
+class SolutionState;
+
+struct SolutionView {
+  static constexpr uint32_t kNoGroup = UINT32_MAX;
+
+  /// Epoch boundary this view was published at (0 = the initial solve,
+  /// before any update).
+  uint64_t epoch = 0;
+  /// Updates applied through that boundary.
+  uint64_t updates_applied = 0;
+
+  /// The solution at the boundary, densely numbered 0..size()-1.
+  CliqueStore solution;
+  /// Group id per node (kNoGroup for free nodes); indexed by NodeId.
+  std::vector<uint32_t> node_to_group;
+  /// Definition-6 clique score per group, aligned with `solution` ids.
+  std::vector<Count> group_scores;
+
+  explicit SolutionView(int k) : solution(k) {}
+
+  /// The group containing `u`, or kNoGroup (out-of-range ids are free:
+  /// the caller may hold a view older than the node's creation).
+  uint32_t GroupOf(NodeId u) const {
+    return u < node_to_group.size() ? node_to_group[u] : kNoGroup;
+  }
+  std::span<const NodeId> GroupMembers(uint32_t group) const {
+    return solution.Get(group);
+  }
+
+  /// Top `n` groups by descending score (ties: lower group id first).
+  std::vector<std::pair<Count, uint32_t>> TopK(size_t n) const;
+
+  /// Internal cross-consistency (tests): node_to_group matches the store,
+  /// scores array is aligned, every clique has k distinct in-range nodes.
+  bool Consistent(std::string* error) const;
+};
+
+/// Materialize the current solution of `state` as an immutable view.
+std::shared_ptr<const SolutionView> BuildSolutionView(
+    const SolutionState& state, uint64_t epoch, uint64_t updates_applied);
+
+/// The atomic publication point. Writers Publish at epoch boundaries;
+/// readers Current() from any thread, lock-free with respect to writers
+/// (the shared_ptr keeps a grabbed view alive across later publishes).
+class SolutionPublisher {
+ public:
+  std::shared_ptr<const SolutionView> Current() const {
+    return view_.load(std::memory_order_acquire);
+  }
+  void Publish(std::shared_ptr<const SolutionView> view) {
+    view_.store(std::move(view), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const SolutionView>> view_;
+};
+
+}  // namespace dkc
+
+#endif  // DKC_DYNAMIC_SOLUTION_VIEW_H_

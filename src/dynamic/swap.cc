@@ -79,10 +79,9 @@ std::vector<std::vector<NodeId>> PackDisjointCandidates(
   return chosen;
 }
 
-void CommitReplacement(SolutionState* state, uint32_t slot,
-                       const std::vector<std::vector<NodeId>>& replacement,
-                       SwapQueue* queue, UpdateWork* budget,
-                       ThreadPool* pool) {
+std::vector<uint32_t> StageReplacement(
+    SolutionState* state, uint32_t slot,
+    const std::vector<std::vector<NodeId>>& replacement) {
   std::vector<NodeId> freed(state->SlotNodes(slot).begin(),
                             state->SlotNodes(slot).end());
   state->RemoveSolutionClique(slot);
@@ -114,6 +113,15 @@ void CommitReplacement(SolutionState* state, uint32_t slot,
       to_rebuild.push_back(s);
     }
   }
+  return to_rebuild;
+}
+
+void CommitReplacement(SolutionState* state, uint32_t slot,
+                       const std::vector<std::vector<NodeId>>& replacement,
+                       SwapQueue* queue, UpdateWork* budget,
+                       ThreadPool* pool) {
+  const std::vector<uint32_t> to_rebuild =
+      StageReplacement(state, slot, replacement);
 
   // The rebuilds charge the meter themselves (one unit each plus one per
   // DFS branch entered) and may be truncated by its deterministic cap —

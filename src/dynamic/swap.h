@@ -53,6 +53,18 @@ struct SwapStats {
 std::vector<std::vector<NodeId>> PackDisjointCandidates(
     const SolutionState& state, uint32_t slot, ThreadPool* pool = nullptr);
 
+/// Structural half of a replacement commit: remove solution clique `slot`
+/// (must be alive), add the `replacement` cliques (each must consist of
+/// nodes that are free once `slot` is removed), and return the slots whose
+/// candidate sets are now out of date — the added cliques first, then
+/// every clique adjacent to a node that ended up free, in a deterministic
+/// order. The caller owns the rebuild: CommitReplacement runs it
+/// immediately; the batched apply path merges these lists across a whole
+/// epoch and rebuilds each dirty slot once at the boundary.
+std::vector<uint32_t> StageReplacement(
+    SolutionState* state, uint32_t slot,
+    const std::vector<std::vector<NodeId>>& replacement);
+
 /// Replace solution clique `slot` (must be alive) by `replacement` cliques
 /// (each must consist of nodes that are free once `slot` is removed).
 /// Rebuilds candidates for the added cliques and for every clique adjacent

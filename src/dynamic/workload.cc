@@ -84,6 +84,67 @@ std::vector<UpdateOp> MakeChurnStream(const Graph& g, size_t count,
   return ops;
 }
 
+std::vector<UpdateOp> MakeHotNeighborhoodStream(const Graph& g, size_t count,
+                                                size_t hot_nodes, Rng& rng) {
+  // The pool: highest-degree nodes (ties by id — deterministic) and their
+  // neighborhoods.
+  std::vector<NodeId> by_degree(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) by_degree[u] = u;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&g](NodeId a, NodeId b) {
+                     return g.Degree(a) != g.Degree(b)
+                                ? g.Degree(a) > g.Degree(b)
+                                : a < b;
+                   });
+  hot_nodes = std::min(hot_nodes, by_degree.size());
+  std::vector<NodeId> pool(by_degree.begin(),
+                           by_degree.begin() + hot_nodes);
+  for (size_t i = 0; i < hot_nodes; ++i) {
+    for (NodeId w : g.Neighbors(by_degree[i])) pool.push_back(w);
+  }
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+  std::vector<UpdateOp> ops;
+  const size_t p = pool.size();
+  const size_t max_edges = p < 2 ? 0 : p * (p - 1) / 2;
+  if (max_edges == 0) return ops;
+
+  // Same churn mechanics as MakeChurnStream, restricted to pool pairs.
+  DynamicGraph mirror(g);
+  std::vector<Edge> live;  // live edges with both endpoints in the pool
+  for (NodeId u : pool) {
+    for (NodeId v : mirror.Neighbors(u)) {
+      if (u < v && std::binary_search(pool.begin(), pool.end(), v)) {
+        live.emplace_back(u, v);
+      }
+    }
+  }
+  ops.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const bool do_insert =
+        live.size() < max_edges && (live.empty() || rng.NextBool(0.55));
+    if (do_insert) {
+      NodeId u = 0, v = 0;
+      do {
+        u = pool[rng.NextBounded(p)];
+        v = pool[rng.NextBounded(p)];
+      } while (u == v || mirror.HasEdge(u, v));
+      mirror.InsertEdge(u, v);
+      live.emplace_back(std::min(u, v), std::max(u, v));
+      ops.push_back({true, {u, v}});
+    } else {
+      const size_t pick = rng.NextBounded(live.size());
+      const Edge e = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      mirror.DeleteEdge(e.first, e.second);
+      ops.push_back({false, e});
+    }
+  }
+  return ops;
+}
+
 MixedWorkload MakeMixedWorkload(const Graph& g, size_t insert_count,
                                 size_t delete_count, Rng& rng) {
   // One disjoint sample covers both op sets: the first `insert_count`

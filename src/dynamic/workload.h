@@ -47,6 +47,18 @@ MixedWorkload MakeMixedWorkload(const Graph& g, size_t insert_count,
 /// streams. Deterministic per rng state.
 std::vector<UpdateOp> MakeChurnStream(const Graph& g, size_t count, Rng& rng);
 
+/// A bursty churn stream concentrated on hot neighborhoods: the
+/// `hot_nodes` highest-degree nodes of `g` (ties by id) plus their
+/// neighbors form the node pool, and every op touches a pair inside it —
+/// the millions-of-users traffic shape where a popular user's
+/// neighborhood absorbs many updates in one burst. Same churn mechanics
+/// as MakeChurnStream (p = 0.55 insert, internal mirror, every op valid
+/// when replayed in order), so consecutive updates repeatedly dirty the
+/// same solution cliques — the workload batched epochs dedup. Empty when
+/// the pool has < 2 nodes. Deterministic per rng state.
+std::vector<UpdateOp> MakeHotNeighborhoodStream(const Graph& g, size_t count,
+                                                size_t hot_nodes, Rng& rng);
+
 /// Copy of `g` without the given edges (helper for MakeMixedWorkload and
 /// the deletion-then-insertion experiments).
 Graph RemoveEdges(const Graph& g, const std::vector<Edge>& edges);

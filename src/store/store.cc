@@ -30,7 +30,11 @@ StatusOr<DurableStore> DurableStore::Open(const std::string& snapshot_path,
 
   auto scan = ReadWal(wal_path);
   if (!scan.ok()) return scan.status();
-  if (scan->torn_tail) {
+  if (scan->torn_tail || scan->torn_group) {
+    // Both cuts land on a committed boundary: a torn final write, or a
+    // group whose commit marker never hit the disk (a crash inside the
+    // group-commit window) — either way valid_bytes is the last durable
+    // epoch/update boundary.
     DKC_RETURN_IF_ERROR(TruncateWal(wal_path, scan->valid_bytes));
   }
 
@@ -39,31 +43,52 @@ StatusOr<DurableStore> DurableStore::Open(const std::string& snapshot_path,
   auto solver = DynamicSolver::FromState(std::move(loaded->state), dynamic);
   if (!solver.ok()) return solver.status();
 
-  // Replay the tail past the snapshot. Records at or before applied_seq
-  // are already reflected (a crash can land between the snapshot publish
-  // and the WAL compaction of a checkpoint); anything else must chain
-  // consecutively from applied_seq.
+  // Replay the tail past the snapshot, segment by segment — a segment is
+  // one bare record or one committed group (an epoch), replayed through
+  // the same engine entry point the original run used so recovery is
+  // byte-identical. Segments at or before applied_seq are already
+  // reflected (a crash can land between the snapshot publish and the WAL
+  // compaction of a checkpoint); anything else must chain consecutively
+  // from applied_seq. Checkpoints only land at segment boundaries, so a
+  // segment straddling the snapshot seq is corruption.
   uint64_t seq = loaded->meta.applied_seq;
   uint64_t replayed = 0;
-  for (const WalRecord& rec : scan->records) {
-    if (rec.seq <= seq) continue;
-    if (rec.seq != seq + 1) {
+  for (const WalSegment& seg : scan->segments) {
+    const WalRecord& first = scan->records[seg.first];
+    const WalRecord& last = scan->records[seg.first + seg.count - 1];
+    if (last.seq <= seq) continue;
+    if (first.seq <= seq) {
       return Status::Corruption(
-          "WAL '" + wal_path + "' starts at seq " + std::to_string(rec.seq) +
+          "WAL '" + wal_path + "' group [" + std::to_string(first.seq) +
+          ", " + std::to_string(last.seq) +
+          "] straddles the snapshot boundary " + std::to_string(seq));
+    }
+    if (first.seq != seq + 1) {
+      return Status::Corruption(
+          "WAL '" + wal_path + "' starts at seq " + std::to_string(first.seq) +
           " but snapshot covers through " + std::to_string(seq));
     }
-    const Status applied = rec.is_insert
-                               ? solver->InsertEdge(rec.u, rec.v)
-                               : solver->DeleteEdge(rec.u, rec.v);
+    Status applied = Status::OK();
+    if (seg.batched) {
+      std::vector<UpdateOp> ops(seg.count);
+      for (size_t j = 0; j < seg.count; ++j) {
+        const WalRecord& rec = scan->records[seg.first + j];
+        ops[j] = UpdateOp{rec.is_insert, {rec.u, rec.v}};
+      }
+      applied = solver->ApplyBatch(ops);
+    } else {
+      applied = first.is_insert ? solver->InsertEdge(first.u, first.v)
+                                : solver->DeleteEdge(first.u, first.v);
+    }
     if (!applied.ok()) {
-      // Apply validates before logging, so every logged record must
-      // apply cleanly to the deterministic replay state.
-      return Status::Corruption("WAL '" + wal_path + "' record seq " +
-                                std::to_string(rec.seq) +
+      // Apply/ApplyBatch validate before logging, so every logged segment
+      // must apply cleanly to the deterministic replay state.
+      return Status::Corruption("WAL '" + wal_path + "' segment at seq " +
+                                std::to_string(first.seq) +
                                 " rejected on replay: " + applied.ToString());
     }
-    seq = rec.seq;
-    ++replayed;
+    seq = last.seq;
+    replayed += seg.count;
   }
 
   auto wal = WalWriter::Open(wal_path);
@@ -74,6 +99,7 @@ StatusOr<DurableStore> DurableStore::Open(const std::string& snapshot_path,
   store.checkpoint_seq_ = loaded->meta.applied_seq;
   store.replayed_records_ = replayed;
   store.recovered_torn_tail_ = scan->torn_tail;
+  store.recovered_torn_group_ = scan->torn_group;
   return store;
 }
 
@@ -104,6 +130,38 @@ Status DurableStore::Apply(const UpdateOp& op) {
                             applied.ToString());
   }
   applied_seq_ = rec.seq;
+
+  if (options_.checkpoint_every > 0 &&
+      applied_seq_ - checkpoint_seq_ >= options_.checkpoint_every) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status DurableStore::ApplyBatch(std::span<const UpdateOp> ops) {
+  if (ops.empty()) return Status::OK();
+  // Validate the whole epoch before logging — atomic reject, nothing
+  // hits the WAL; the log must contain only groups that replay cleanly.
+  DKC_RETURN_IF_ERROR(solver_->ValidateBatch(ops));
+
+  std::vector<WalRecord> recs(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    recs[i].seq = applied_seq_ + 1 + i;
+    recs[i].is_insert = ops[i].is_insert;
+    recs[i].u = ops[i].edge.first;
+    recs[i].v = ops[i].edge.second;
+  }
+  // The group-commit durability point: members + commit marker in one
+  // buffered write, one fsync for the whole epoch.
+  DKC_RETURN_IF_ERROR(wal_->AppendGroup(recs, options_.sync_every_append));
+  if (options_.after_group_flush) options_.after_group_flush(recs.back().seq);
+
+  const Status applied = solver_->ApplyBatch(ops);
+  if (!applied.ok()) {
+    return Status::Internal("validated batch rejected by engine: " +
+                            applied.ToString());
+  }
+  applied_seq_ = recs.back().seq;
 
   if (options_.checkpoint_every > 0 &&
       applied_seq_ - checkpoint_seq_ >= options_.checkpoint_every) {

@@ -4,6 +4,12 @@
 // Durability contract:
 //  * Apply = validate → WAL append (fsync) → in-memory engine apply. An
 //    acknowledged update is on disk before it is visible in memory.
+//  * ApplyBatch = validate the whole epoch → WAL *group commit* (members
+//    + commit marker, one buffered write, one fsync) → engine epoch
+//    apply. N updates, one fsync — the throughput path. A crash anywhere
+//    inside the group window (during the append, or between the flush and
+//    the engine apply) recovers to the previous epoch boundary: members
+//    without a commit marker are never replayed.
 //  * Checkpoint = atomic snapshot publish (at the current seq), then WAL
 //    compaction to empty. A crash between the two leaves WAL records the
 //    snapshot already covers; recovery skips them by sequence number.
@@ -24,7 +30,9 @@
 #ifndef DKC_STORE_STORE_H_
 #define DKC_STORE_STORE_H_
 
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "dynamic/dynamic_solver.h"
@@ -39,11 +47,18 @@ struct StoreOptions {
   /// Open, k comes from the snapshot and dynamic.k is overridden.
   DynamicOptions dynamic;
   /// Auto-checkpoint after this many applied updates (0 = manual only).
+  /// Checkpoints land only at update/epoch boundaries, so a snapshot
+  /// never straddles a WAL group.
   uint64_t checkpoint_every = 0;
-  /// fsync the WAL on every Append. Turning this off trades the
-  /// acknowledged-updates-survive guarantee for throughput (recovery is
-  /// still correct, it just replays a shorter intact prefix).
+  /// fsync the WAL on every Append/AppendGroup. Turning this off trades
+  /// the acknowledged-updates-survive guarantee for throughput (recovery
+  /// is still correct, it just replays a shorter intact prefix).
   bool sync_every_append = true;
+  /// Crash-injection hook (tests/CI): called inside the group-commit
+  /// window of ApplyBatch — after the WAL group is flushed, before the
+  /// engine applies the epoch — with the group's last seq. Production
+  /// leaves it empty.
+  std::function<void(uint64_t)> after_group_flush;
 };
 
 class DurableStore {
@@ -65,6 +80,13 @@ class DurableStore {
   /// the engine would reject (nothing is logged for those).
   Status Apply(const UpdateOp& op);
 
+  /// Log and apply one epoch of updates under group commit: the whole
+  /// batch is validated first (rejected atomically with nothing logged if
+  /// any op is invalid), appended as one WAL group frame with a single
+  /// fsync, then applied through DynamicSolver::ApplyBatch. An empty
+  /// batch is a no-op.
+  Status ApplyBatch(std::span<const UpdateOp> ops);
+
   /// Snapshot now and compact the WAL.
   Status Checkpoint();
 
@@ -80,6 +102,9 @@ class DurableStore {
   /// Recovery accounting from Open (zero after Create).
   uint64_t replayed_records() const { return replayed_records_; }
   bool recovered_torn_tail() const { return recovered_torn_tail_; }
+  /// True iff Open dropped group members with no commit marker — the
+  /// signature of a crash inside the group-commit window.
+  bool recovered_torn_group() const { return recovered_torn_group_; }
 
   const std::string& snapshot_path() const { return snapshot_path_; }
   const std::string& wal_path() const { return wal_path_; }
@@ -103,6 +128,7 @@ class DurableStore {
   uint64_t checkpoints_taken_ = 0;
   uint64_t replayed_records_ = 0;
   bool recovered_torn_tail_ = false;
+  bool recovered_torn_group_ = false;
 };
 
 }  // namespace dkc

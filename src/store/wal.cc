@@ -11,15 +11,39 @@
 #include "util/binio.h"
 
 namespace dkc {
+namespace {
+
+void AppendEncoded(std::string* out, WalOp op, const WalRecord& rec) {
+  const size_t start = out->size();
+  PutU8(out, static_cast<uint8_t>(op));
+  PutU32(out, rec.u);
+  PutU32(out, rec.v);
+  PutU64(out, rec.seq);
+  PutU32(out, Crc32(std::string_view(out->data() + start,
+                                     kWalRecordBytes - 4)));
+}
+
+}  // namespace
 
 std::string EncodeWalRecord(const WalRecord& rec) {
   std::string out;
   out.reserve(kWalRecordBytes);
-  PutU8(&out, rec.is_insert ? 1 : 0);
-  PutU32(&out, rec.u);
-  PutU32(&out, rec.v);
-  PutU64(&out, rec.seq);
-  PutU32(&out, Crc32(out));
+  AppendEncoded(&out, rec.is_insert ? kWalInsert : kWalDelete, rec);
+  return out;
+}
+
+std::string EncodeWalGroup(std::span<const WalRecord> recs) {
+  std::string out;
+  out.reserve((recs.size() + 1) * kWalRecordBytes);
+  for (const WalRecord& rec : recs) {
+    AppendEncoded(&out, rec.is_insert ? kWalGroupInsert : kWalGroupDelete,
+                  rec);
+  }
+  WalRecord commit;
+  commit.u = static_cast<NodeId>(recs.size());
+  commit.v = 0;
+  commit.seq = recs.empty() ? 0 : recs.back().seq;
+  AppendEncoded(&out, kWalGroupCommit, commit);
   return out;
 }
 
@@ -37,6 +61,19 @@ Status WalWriter::Append(const WalRecord& rec, bool sync) {
   if (std::fwrite(encoded.data(), 1, encoded.size(), file_.get()) !=
       encoded.size()) {
     return Status::IOError("WAL append to '" + path_ + "' failed");
+  }
+  if (sync) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::AppendGroup(std::span<const WalRecord> recs, bool sync) {
+  if (recs.empty()) return Status::OK();
+  // One encode, one write: the commit marker rides in the same buffer as
+  // the members, so the kernel sees the whole epoch as a single append.
+  const std::string encoded = EncodeWalGroup(recs);
+  if (std::fwrite(encoded.data(), 1, encoded.size(), file_.get()) !=
+      encoded.size()) {
+    return Status::IOError("WAL group append to '" + path_ + "' failed");
   }
   if (sync) return Sync();
   return Status::OK();
@@ -61,6 +98,10 @@ StatusOr<WalReadResult> ReadWal(const std::string& path) {
   size_t pos = 0;
   bool have_prev = false;
   uint64_t prev_seq = 0;
+  // Index into result.records where the currently-open group started, or
+  // SIZE_MAX when no group is open. valid_bytes only advances at committed
+  // boundaries (bare records and commit markers), never mid-group.
+  size_t open_group_first = SIZE_MAX;
   while (pos < data.size()) {
     if (data.size() - pos < kWalRecordBytes) {
       // Torn append: the crash cut the final write short.
@@ -69,29 +110,96 @@ StatusOr<WalReadResult> ReadWal(const std::string& path) {
     }
     const std::string_view raw(data.data() + pos, kWalRecordBytes);
     ByteReader reader(raw);
+    const uint8_t op = reader.U8();
     WalRecord rec;
-    rec.is_insert = reader.U8() != 0;
     rec.u = reader.U32();
     rec.v = reader.U32();
     rec.seq = reader.U64();
     const uint32_t stored_crc = reader.U32();
     if (Crc32(raw.substr(0, kWalRecordBytes - 4)) != stored_crc) {
-      // A complete record never tears (single append-only write), so a
+      // A complete record never tears (appends are single writes), so a
       // bad CRC here is corruption, not a crash artifact.
       return Status::Corruption(
           "WAL '" + path + "': checksum mismatch in record at byte " +
           std::to_string(pos));
     }
-    if (have_prev && rec.seq != prev_seq + 1) {
-      return Status::Corruption("WAL '" + path +
-                                "': sequence gap after seq " +
-                                std::to_string(prev_seq));
+    switch (op) {
+      case kWalDelete:
+      case kWalInsert: {
+        if (open_group_first != SIZE_MAX) {
+          return Status::Corruption(
+              "WAL '" + path + "': bare record at byte " +
+              std::to_string(pos) + " inside an uncommitted group");
+        }
+        if (have_prev && rec.seq != prev_seq + 1) {
+          return Status::Corruption("WAL '" + path +
+                                    "': sequence gap after seq " +
+                                    std::to_string(prev_seq));
+        }
+        have_prev = true;
+        prev_seq = rec.seq;
+        rec.is_insert = op == kWalInsert;
+        result.segments.push_back({result.records.size(), 1, false});
+        result.records.push_back(rec);
+        result.valid_bytes = pos + kWalRecordBytes;
+        break;
+      }
+      case kWalGroupDelete:
+      case kWalGroupInsert: {
+        if (open_group_first == SIZE_MAX) {
+          open_group_first = result.records.size();
+        }
+        if (have_prev && rec.seq != prev_seq + 1) {
+          return Status::Corruption("WAL '" + path +
+                                    "': sequence gap after seq " +
+                                    std::to_string(prev_seq));
+        }
+        have_prev = true;
+        prev_seq = rec.seq;
+        rec.is_insert = op == kWalGroupInsert;
+        result.records.push_back(rec);
+        // valid_bytes deliberately not advanced: a member without its
+        // commit marker is not durable.
+        break;
+      }
+      case kWalGroupCommit: {
+        if (open_group_first == SIZE_MAX) {
+          return Status::Corruption("WAL '" + path +
+                                    "': group commit with no members at byte " +
+                                    std::to_string(pos));
+        }
+        const size_t count = result.records.size() - open_group_first;
+        if (rec.u != count) {
+          return Status::Corruption(
+              "WAL '" + path + "': group commit at byte " +
+              std::to_string(pos) + " claims " + std::to_string(rec.u) +
+              " members, found " + std::to_string(count));
+        }
+        if (rec.seq != prev_seq) {
+          return Status::Corruption(
+              "WAL '" + path + "': group commit at byte " +
+              std::to_string(pos) + " seq " + std::to_string(rec.seq) +
+              " does not match last member seq " + std::to_string(prev_seq));
+        }
+        result.segments.push_back({open_group_first, count, true});
+        open_group_first = SIZE_MAX;
+        result.valid_bytes = pos + kWalRecordBytes;
+        break;
+      }
+      default:
+        return Status::Corruption("WAL '" + path +
+                                  "': unknown record type " +
+                                  std::to_string(op) + " at byte " +
+                                  std::to_string(pos));
     }
-    have_prev = true;
-    prev_seq = rec.seq;
-    result.records.push_back(rec);
     pos += kWalRecordBytes;
-    result.valid_bytes = pos;
+  }
+  if (open_group_first != SIZE_MAX) {
+    // Crash inside the group-commit window: the members landed but the
+    // commit marker did not. Drop them — the epoch was never durable —
+    // and recover to the last committed boundary.
+    result.records.resize(open_group_first);
+    result.torn_group = true;
   }
   return result;
 }

@@ -2,24 +2,39 @@
 //
 // The file is a sequence of fixed-size records:
 //
-//   [1] op (0 = delete, 1 = insert)
+//   [1] op (see WalOp: bare insert/delete, group member, group commit)
 //   [4] u  (u32)            [4] v (u32)
-//   [8] seq (u64, strictly consecutive)
+//   [8] seq (u64, strictly consecutive across update records)
 //   [4] CRC-32 of the previous 17 bytes
 //
-// Records are appended with a single write and (by default) fsynced before
-// the in-memory engine applies the update, so a crash loses at most work
-// that was never acknowledged. Recovery semantics, modeled on classic WAL
-// discipline:
+// Bare records are appended with a single write and (by default) fsynced
+// before the in-memory engine applies the update, so a crash loses at most
+// work that was never acknowledged.
+//
+// Group commit (epoch-batched ingestion): a whole epoch of updates is
+// encoded as consecutive *group member* records followed by one *group
+// commit* marker (carrying the member count and the last member's seq),
+// and the entire frame is appended as one buffered write + one fsync. The
+// members are not replayable until the commit marker lands, which is what
+// makes a crash anywhere inside the group window safe: the epoch is either
+// fully durable or entirely absent.
+//
+// Recovery semantics, modeled on classic WAL discipline:
 //
 //  * a *partial* record at EOF is a torn append — the crash cut the final
 //    write short. The scan truncates it away and reports torn_tail; every
 //    complete record before it is intact (per-record CRC) and replayed.
-//  * a *complete* record with a bad CRC, or a sequence-number gap, is
-//    Corruption: appends are single writes to an append-only file, so a
-//    short tail is the only state a crash can produce — anything else is
-//    bit rot or tampering, and replaying past it would silently fork the
-//    solution. Nothing is loaded.
+//  * group member records with no commit marker at EOF are a torn group —
+//    the crash landed inside the group window. They are dropped and the
+//    log is truncated to the last committed boundary (valid_bytes), so
+//    recovery lands exactly on an epoch boundary.
+//  * a *complete* record with a bad CRC, a sequence-number gap, a bare
+//    record interleaved into an open group, or a commit marker whose
+//    count/seq disagree with its members, is Corruption: appends are
+//    single writes to an append-only file, so a short tail is the only
+//    state a crash can produce — anything else is bit rot or tampering,
+//    and replaying past it would silently fork the solution. Nothing is
+//    loaded.
 
 #ifndef DKC_STORE_WAL_H_
 #define DKC_STORE_WAL_H_
@@ -27,6 +42,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,11 +58,27 @@ struct WalRecord {
   NodeId v = 0;
 };
 
+/// On-disk record type tags (the first byte of every record).
+enum WalOp : uint8_t {
+  kWalDelete = 0,
+  kWalInsert = 1,
+  kWalGroupDelete = 2,
+  kWalGroupInsert = 3,
+  /// Group terminator: u = member count, v = 0, seq = last member's seq.
+  kWalGroupCommit = 4,
+};
+
 /// Bytes per encoded record (fixed-size format).
 inline constexpr size_t kWalRecordBytes = 21;
 
-/// Encode `rec` (exposed for tests that fabricate torn/corrupt tails).
+/// Encode `rec` as a bare record (exposed for tests that fabricate
+/// torn/corrupt tails).
 std::string EncodeWalRecord(const WalRecord& rec);
+
+/// Encode `recs` as one group frame: member records followed by the commit
+/// marker. This is exactly the byte sequence AppendGroup writes (exposed
+/// for the kill-point harness, which truncates it at every offset).
+std::string EncodeWalGroup(std::span<const WalRecord> recs);
 
 /// Appender. Not thread-safe; the store serializes access.
 class WalWriter {
@@ -57,6 +89,12 @@ class WalWriter {
   /// Append one record. With `sync`, the record is flushed and fsynced
   /// before returning — the durability point of the store's Apply.
   Status Append(const WalRecord& rec, bool sync = true);
+
+  /// Append a whole epoch as one group frame (members + commit marker) in
+  /// a single buffered write, then — with `sync` — one fsync for the whole
+  /// batch. This is the group-commit durability point: N updates, one
+  /// fsync. Empty input is a no-op.
+  Status AppendGroup(std::span<const WalRecord> recs, bool sync = true);
 
   Status Sync();
 
@@ -70,17 +108,34 @@ class WalWriter {
   std::string path_;
 };
 
+/// One replay unit of the log: either a single bare record or a committed
+/// group (an epoch) of `count` records starting at `records[first]`.
+struct WalSegment {
+  size_t first = 0;
+  size_t count = 0;
+  bool batched = false;
+};
+
 struct WalReadResult {
+  /// Update records in log order. Members of a torn (uncommitted) group
+  /// are *not* included.
   std::vector<WalRecord> records;
-  /// Byte length of the intact prefix (everything after is torn).
+  /// Replay units over `records`, in log order.
+  std::vector<WalSegment> segments;
+  /// Byte length of the intact prefix (everything after is torn). Always
+  /// a committed boundary: a group's members never count without their
+  /// commit marker.
   uint64_t valid_bytes = 0;
   /// True iff a partial record at EOF was dropped.
   bool torn_tail = false;
+  /// True iff group member records with no commit marker were dropped at
+  /// EOF (a crash inside the group-commit window).
+  bool torn_group = false;
 };
 
 /// Scan `path`. A missing file yields an empty result (a fresh store has
-/// no WAL yet); a torn tail is reported, a mid-file corruption returned as
-/// Corruption (see header comment for the distinction).
+/// no WAL yet); a torn tail or torn group is reported, a mid-file
+/// corruption returned as Corruption (see header comment).
 StatusOr<WalReadResult> ReadWal(const std::string& path);
 
 /// Truncate `path` to `valid_bytes` — recovery's torn-tail cut.

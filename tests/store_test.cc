@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -98,6 +99,35 @@ DynamicSolver ReferenceRun(const TestWorld& world, size_t count) {
     EXPECT_TRUE(s.ok()) << "op " << i << ": " << s.ToString();
   }
   return std::move(solver).value();
+}
+
+/// Batched reference: Build + ApplyBatch over ops[0..count) in epochs of
+/// `epoch` updates. Epoch boundaries are part of the stream, so recovery
+/// of a batched store must be compared against *this*, not ReferenceRun.
+DynamicSolver BatchedReferenceRun(const TestWorld& world, size_t count,
+                                  size_t epoch) {
+  auto solver = DynamicSolver::Build(world.graph, TestOptions());
+  EXPECT_TRUE(solver.ok()) << solver.status().ToString();
+  const std::span<const UpdateOp> all(world.ops);
+  for (size_t i = 0; i < count; i += epoch) {
+    const Status s =
+        solver->ApplyBatch(all.subspan(i, std::min(epoch, count - i)));
+    EXPECT_TRUE(s.ok()) << "epoch at op " << i << ": " << s.ToString();
+  }
+  return std::move(solver).value();
+}
+
+/// The WAL records AppendGroup would write for ops[first..first+count).
+std::vector<WalRecord> GroupRecords(const TestWorld& world, size_t first,
+                                    size_t count) {
+  std::vector<WalRecord> recs(count);
+  for (size_t i = 0; i < count; ++i) {
+    recs[i].seq = first + i + 1;
+    recs[i].is_insert = world.ops[first + i].is_insert;
+    recs[i].u = world.ops[first + i].edge.first;
+    recs[i].v = world.ops[first + i].edge.second;
+  }
+  return recs;
 }
 
 // ------------------------------------------------------------------ CRC ---
@@ -229,6 +259,146 @@ TEST(WalTest, SequenceGapIsCorruption) {
   auto result = ReadWal(path);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ WAL groups ---
+
+TEST(WalTest, GroupRoundTripYieldsOneBatchedSegment) {
+  const auto records = MakeRecords(6);
+  const std::string path = TempPath("dkc_wal_group.wal");
+  std::remove(path.c_str());
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    // bare, group of 4, bare — mixed traffic in one log.
+    ASSERT_TRUE(writer->Append(records[0]).ok());
+    ASSERT_TRUE(
+        writer->AppendGroup(std::span(records).subspan(1, 4)).ok());
+    ASSERT_TRUE(writer->Append(records[5]).ok());
+  }
+  auto result = ReadWal(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->records.size(), 6u);  // the commit marker is not a record
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result->records[i].seq, records[i].seq);
+    EXPECT_EQ(result->records[i].is_insert, records[i].is_insert);
+    EXPECT_EQ(result->records[i].u, records[i].u);
+    EXPECT_EQ(result->records[i].v, records[i].v);
+  }
+  ASSERT_EQ(result->segments.size(), 3u);
+  EXPECT_EQ(result->segments[0].count, 1u);
+  EXPECT_FALSE(result->segments[0].batched);
+  EXPECT_EQ(result->segments[1].first, 1u);
+  EXPECT_EQ(result->segments[1].count, 4u);
+  EXPECT_TRUE(result->segments[1].batched);
+  EXPECT_EQ(result->segments[2].first, 5u);
+  EXPECT_FALSE(result->segments[2].batched);
+  EXPECT_FALSE(result->torn_tail);
+  EXPECT_FALSE(result->torn_group);
+  // 6 update records + 1 commit marker.
+  EXPECT_EQ(result->valid_bytes, 7 * kWalRecordBytes);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornGroupAtEveryCutPointRecoversToEpochBoundary) {
+  // Intact prefix: one bare record + one committed group (an epoch). Then
+  // a crash lands at every possible byte offset inside the next group's
+  // frame — member records and the commit marker alike. Every cut must
+  // recover to the committed boundary: the open group's members are
+  // dropped even when they are individually complete and CRC-clean.
+  const auto records = MakeRecords(8);
+  std::string intact = EncodeWalRecord(records[0]);
+  intact += EncodeWalGroup(std::span(records).subspan(1, 3));
+  const std::string frame = EncodeWalGroup(std::span(records).subspan(4, 4));
+  const std::string path = TempPath("dkc_wal_torngroup.wal");
+  for (size_t cut = 1; cut < frame.size(); ++cut) {
+    WriteFileBytes(path, intact + frame.substr(0, cut));
+    auto result = ReadWal(path);
+    ASSERT_TRUE(result.ok()) << "cut=" << cut << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(result->torn_tail || result->torn_group) << "cut=" << cut;
+    ASSERT_EQ(result->records.size(), 4u) << "cut=" << cut;
+    ASSERT_EQ(result->segments.size(), 2u) << "cut=" << cut;
+    EXPECT_EQ(result->valid_bytes, intact.size()) << "cut=" << cut;
+    // The recovery cut restores a clean, committed log.
+    ASSERT_TRUE(TruncateWal(path, result->valid_bytes).ok());
+    auto again = ReadWal(path);
+    ASSERT_TRUE(again.ok());
+    EXPECT_FALSE(again->torn_tail);
+    EXPECT_FALSE(again->torn_group);
+    EXPECT_EQ(again->records.size(), 4u);
+  }
+  // The full frame lands: the epoch becomes durable.
+  WriteFileBytes(path, intact + frame);
+  auto result = ReadWal(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records.size(), 8u);
+  ASSERT_EQ(result->segments.size(), 3u);
+  EXPECT_TRUE(result->segments[2].batched);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, GroupFrameViolationsAreCorruption) {
+  const auto records = MakeRecords(5);
+  const std::string path = TempPath("dkc_wal_groupbad.wal");
+  const std::string group = EncodeWalGroup(std::span(records).first(3));
+  const size_t rec_bytes = kWalRecordBytes;
+
+  // A bare record interleaved into an open group: members of group [0,3)
+  // followed by a bare record 4 — appends are atomic frames, so this
+  // cannot come from a crash. Corruption.
+  {
+    WalRecord bare = records[3];
+    std::string bytes = group.substr(0, 3 * rec_bytes);  // members only
+    bytes += EncodeWalRecord(bare);
+    WriteFileBytes(path, bytes);
+    auto result = ReadWal(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  }
+  // A commit marker with no open group.
+  {
+    WalRecord commit;
+    commit.seq = 3;
+    commit.is_insert = false;
+    commit.u = 3;
+    commit.v = 0;
+    // Fabricate the marker by taking the last record of a real frame.
+    std::string marker = group.substr(3 * rec_bytes);
+    WriteFileBytes(path, marker);
+    auto result = ReadWal(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  }
+  // A commit marker whose member count disagrees: drop one member record
+  // but keep the count-3 marker.
+  {
+    std::string bytes = group.substr(0, 2 * rec_bytes);  // 2 of 3 members
+    bytes += group.substr(3 * rec_bytes);                // count-3 marker
+    WriteFileBytes(path, bytes);
+    auto result = ReadWal(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  }
+  // A bit flip inside a group member is caught by the member's CRC.
+  {
+    std::string bytes = group;
+    bytes[rec_bytes + 5] = static_cast<char>(bytes[rec_bytes + 5] ^ 0x20);
+    WriteFileBytes(path, bytes);
+    auto result = ReadWal(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  }
+  // An unknown op byte.
+  {
+    std::string bytes = group;
+    bytes[0] = 9;  // not a WalOp — CRC fails before op interpretation
+    WriteFileBytes(path, bytes);
+    auto result = ReadWal(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  }
   std::remove(path.c_str());
 }
 
@@ -617,6 +787,179 @@ TEST(StoreTest, StaleWalFromPreviousStoreIsNotReplayed) {
   EXPECT_EQ(reopened->applied_seq(), 0u);
   EXPECT_EQ(EngineFingerprint(reopened->solver()),
             EngineFingerprint(ReferenceRun(world, 0)));
+  CleanUp(paths);
+}
+
+// -------------------------------------------------- store, group commit ---
+
+TEST(StoreTest, BatchedApplyReopenIsByteIdentical) {
+  constexpr size_t kEpoch = 8;
+  TestWorld world = MakeWorld(64, 110);
+  const StorePaths paths = MakeStorePaths("batched_reopen");
+  const std::span<const UpdateOp> all(world.ops);
+
+  uint64_t flushes = 0;
+  StoreOptions options = MakeStoreOptions();
+  options.after_group_flush = [&flushes](uint64_t) { ++flushes; };
+  {
+    auto store =
+        DurableStore::Create(world.graph, paths.snapshot, paths.wal, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (size_t i = 0; i < 32; i += kEpoch) {
+      ASSERT_TRUE(store->ApplyBatch(all.subspan(i, kEpoch)).ok());
+    }
+    EXPECT_EQ(store->applied_seq(), 32u);
+    EXPECT_EQ(flushes, 4u);  // one group flush per epoch
+  }
+
+  // Recovery replays the four committed groups through ApplyBatch — the
+  // same entry point, so byte-identical to the batched reference.
+  auto reopened =
+      DurableStore::Open(paths.snapshot, paths.wal, MakeStoreOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->applied_seq(), 32u);
+  EXPECT_EQ(reopened->replayed_records(), 32u);
+  EXPECT_FALSE(reopened->recovered_torn_group());
+  EXPECT_EQ(EngineFingerprint(reopened->solver()),
+            EngineFingerprint(BatchedReferenceRun(world, 32, kEpoch)));
+
+  // Continue batched to the end; still identical.
+  for (size_t i = 32; i < 64; i += kEpoch) {
+    ASSERT_TRUE(reopened->ApplyBatch(all.subspan(i, kEpoch)).ok());
+  }
+  EXPECT_EQ(EngineFingerprint(reopened->solver()),
+            EngineFingerprint(BatchedReferenceRun(world, 64, kEpoch)));
+  CleanUp(paths);
+}
+
+TEST(StoreTest, KillPointInsideGroupCommitWindowReplaysWholeEpoch) {
+  // The crash-in-window state: the WAL group (members + commit marker) is
+  // fully flushed, the engine never applied the epoch. Recovery must
+  // replay the whole group — the acknowledged-at-flush epoch survives.
+  constexpr size_t kEpoch = 8;
+  TestWorld world = MakeWorld(24, 111);
+  const StorePaths paths = MakeStorePaths("commit_window");
+  const std::span<const UpdateOp> all(world.ops);
+  {
+    auto store = DurableStore::Create(world.graph, paths.snapshot, paths.wal,
+                                      MakeStoreOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->ApplyBatch(all.subspan(0, kEpoch)).ok());
+    ASSERT_TRUE(store->ApplyBatch(all.subspan(kEpoch, kEpoch)).ok());
+  }
+  // Epoch 3's frame hit the disk; the process died before the engine ran.
+  AppendFileBytes(paths.wal,
+                  EncodeWalGroup(GroupRecords(world, 16, kEpoch)));
+
+  auto reopened =
+      DurableStore::Open(paths.snapshot, paths.wal, MakeStoreOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->applied_seq(), 24u);
+  EXPECT_EQ(reopened->replayed_records(), 24u);
+  EXPECT_FALSE(reopened->recovered_torn_group());  // committed, not torn
+  EXPECT_EQ(EngineFingerprint(reopened->solver()),
+            EngineFingerprint(BatchedReferenceRun(world, 24, kEpoch)));
+  CleanUp(paths);
+}
+
+TEST(StoreTest, KillPointAtEveryGroupFrameCutRecoversToEpochBoundary) {
+  // The other half of the window: the crash cut the group frame itself
+  // short, at *every possible byte offset*. Recovery must land exactly on
+  // the previous epoch boundary — never a partial epoch — and re-applying
+  // the lost epoch must converge with the uninterrupted batched run.
+  constexpr size_t kEpoch = 6;
+  TestWorld world = MakeWorld(18, 112);
+  const StorePaths paths = MakeStorePaths("group_cut");
+  const std::span<const UpdateOp> all(world.ops);
+  {
+    auto store = DurableStore::Create(world.graph, paths.snapshot, paths.wal,
+                                      MakeStoreOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->ApplyBatch(all.subspan(0, kEpoch)).ok());
+    ASSERT_TRUE(store->ApplyBatch(all.subspan(kEpoch, kEpoch)).ok());
+  }
+  const std::string committed = ReadFileBytes(paths.wal);
+  const std::string frame =
+      EncodeWalGroup(GroupRecords(world, 12, kEpoch));
+
+  for (size_t cut = 1; cut < frame.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    WriteFileBytes(paths.wal, committed + frame.substr(0, cut));
+    auto reopened =
+        DurableStore::Open(paths.snapshot, paths.wal, MakeStoreOptions());
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened->applied_seq(), 12u);
+    EXPECT_TRUE(reopened->recovered_torn_tail() ||
+                reopened->recovered_torn_group());
+    EXPECT_EQ(EngineFingerprint(reopened->solver()),
+              EngineFingerprint(BatchedReferenceRun(world, 12, kEpoch)));
+    // The WAL was truncated to the boundary: the lost epoch re-applies.
+    ASSERT_TRUE(reopened->ApplyBatch(all.subspan(12, kEpoch)).ok());
+    EXPECT_EQ(reopened->applied_seq(), 18u);
+    EXPECT_EQ(EngineFingerprint(reopened->solver()),
+              EngineFingerprint(BatchedReferenceRun(world, 18, kEpoch)));
+  }
+  CleanUp(paths);
+}
+
+TEST(StoreTest, GroupStraddlingSnapshotBoundaryIsCorruption) {
+  // Checkpoints land only at epoch boundaries, so a snapshot seq strictly
+  // inside a committed group cannot come from a crash — refuse to guess.
+  constexpr size_t kEpoch = 4;
+  TestWorld world = MakeWorld(8, 113);
+  const StorePaths paths = MakeStorePaths("straddle");
+  const std::span<const UpdateOp> all(world.ops);
+  {
+    auto store = DurableStore::Create(world.graph, paths.snapshot, paths.wal,
+                                      MakeStoreOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->ApplyBatch(all.subspan(0, kEpoch)).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());  // snapshot at seq 4, WAL empty
+  }
+  // A fabricated group [3, 6] straddles the snapshot's seq 4.
+  AppendFileBytes(paths.wal, EncodeWalGroup(GroupRecords(world, 2, 4)));
+  auto reopened =
+      DurableStore::Open(paths.snapshot, paths.wal, MakeStoreOptions());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), Status::Code::kCorruption);
+  CleanUp(paths);
+}
+
+TEST(StoreTest, MixedBareAndBatchedTrafficReplaysThroughMatchingPaths) {
+  // A log interleaving bare appends and group commits must replay each
+  // segment through the entry point that wrote it (batch boundaries are
+  // part of the stream).
+  TestWorld world = MakeWorld(20, 114);
+  const StorePaths paths = MakeStorePaths("mixed_traffic");
+  const std::span<const UpdateOp> all(world.ops);
+  {
+    auto store = DurableStore::Create(world.graph, paths.snapshot, paths.wal,
+                                      MakeStoreOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Apply(world.ops[0]).ok());
+    ASSERT_TRUE(store->ApplyBatch(all.subspan(1, 8)).ok());
+    ASSERT_TRUE(store->Apply(world.ops[9]).ok());
+    ASSERT_TRUE(store->ApplyBatch(all.subspan(10, 10)).ok());
+    EXPECT_EQ(store->applied_seq(), 20u);
+  }
+  auto reopened =
+      DurableStore::Open(paths.snapshot, paths.wal, MakeStoreOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->applied_seq(), 20u);
+  EXPECT_EQ(reopened->replayed_records(), 20u);
+
+  // The in-memory twin of the same interleaving.
+  auto twin = DynamicSolver::Build(world.graph, TestOptions());
+  ASSERT_TRUE(twin.ok());
+  auto apply_one = [&](const UpdateOp& op) {
+    return op.is_insert ? twin->InsertEdge(op.edge.first, op.edge.second)
+                        : twin->DeleteEdge(op.edge.first, op.edge.second);
+  };
+  ASSERT_TRUE(apply_one(world.ops[0]).ok());
+  ASSERT_TRUE(twin->ApplyBatch(all.subspan(1, 8)).ok());
+  ASSERT_TRUE(apply_one(world.ops[9]).ok());
+  ASSERT_TRUE(twin->ApplyBatch(all.subspan(10, 10)).ok());
+  EXPECT_EQ(EngineFingerprint(reopened->solver()), EngineFingerprint(*twin));
   CleanUp(paths);
 }
 

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -224,6 +225,119 @@ TEST(ThreadSweepTest, DynamicStreamsAreByteIdenticalAcrossThreadCounts) {
   EXPECT_GE(budget_completions, 100u) << "work budget starves every update";
   EXPECT_GE(budget_rebuild_cuts, 10u)
       << "work budget never cut a rebuild mid-enumeration";
+}
+
+// ---------------------------------------------------------------------------
+// Batched ingestion sweep: the same streams pushed through ApplyBatch in
+// epochs of 1, 8, and 64. The epoch boundary runs the deduped rebuild
+// fan-out (the same pool plumbing as the per-update paths), so the
+// maintained solution and the per-epoch work/abort traces must be
+// byte-identical at every thread count — and an epoch of one update must
+// reproduce the unbatched engine exactly, snapshot for snapshot.
+
+struct EpochTrace {
+  std::vector<uint8_t> aborted;    // per epoch
+  std::vector<uint64_t> work;      // per epoch
+  std::vector<uint64_t> dirty;     // per epoch (deduped rebuild slots)
+  std::vector<std::vector<std::vector<NodeId>>> snapshots;  // per epoch
+  uint64_t dirty_rebuilds = 0;     // lifetime deduped-rebuild total
+  NodeId final_size = 0;
+};
+
+EpochTrace RunEpochStream(const Graph& initial,
+                          const std::vector<UpdateOp>& ops, int k,
+                          ThreadPool* pool, uint64_t max_branch_nodes,
+                          size_t epoch_size) {
+  DynamicOptions options;
+  options.k = k;
+  options.pool = pool;
+  options.update_budget.max_branch_nodes = max_branch_nodes;
+  auto solver = DynamicSolver::Build(initial, options);
+  EXPECT_TRUE(solver.ok()) << solver.status().ToString();
+  EpochTrace trace;
+  const std::span<const UpdateOp> all(ops);
+  for (size_t i = 0; i < all.size(); i += epoch_size) {
+    const Status status =
+        solver->ApplyBatch(all.subspan(i, std::min(epoch_size,
+                                                   all.size() - i)));
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    trace.aborted.push_back(solver->last_batch_stats().aborted() ? 1 : 0);
+    trace.work.push_back(solver->last_batch_stats().work);
+    trace.dirty.push_back(solver->last_batch_stats().dirty_slots);
+    trace.snapshots.push_back(ToVectors(solver->Snapshot()));
+  }
+  trace.dirty_rebuilds = solver->batch_dirty_rebuilds();
+  trace.final_size = solver->solution_size();
+  std::string error;
+  EXPECT_TRUE(solver->CheckInvariants(&error)) << error;
+  if (max_branch_nodes == 0) {
+    // Only the unbudgeted runs promise a complete index — a budget may cut
+    // a rebuild mid-enumeration by design.
+    EXPECT_TRUE(solver->CheckCandidateCompleteness(&error)) << error;
+  }
+  return trace;
+}
+
+TEST(ThreadSweepTest, BatchedStreamsAreByteIdenticalAcrossThreadCounts) {
+  constexpr int kStreams = 10;
+  constexpr int kUpdatesPerStream = 220;
+  constexpr size_t kEpochSizes[] = {1, 8, 64};
+  // Per-update cap; the epoch budget scales with the epoch's op count, so
+  // at epoch_size=1 this is exactly the unbatched budget.
+  constexpr uint64_t kUpdateWorkBudget = 8;
+  ThreadPool pool1(1), pool2(2), pool4(4);
+  ThreadPool* pools[] = {&pool1, &pool2, &pool4};
+
+  uint64_t dedup_savings = 0;  // epochs where dirty slots < epoch updates
+  for (int stream = 0; stream < kStreams; ++stream) {
+    SCOPED_TRACE("stream=" + std::to_string(stream));
+    Rng rng(7300 + static_cast<uint64_t>(stream) * 97);
+    const NodeId n = 80 + static_cast<NodeId>(stream % 3) * 10;
+    const double p = 0.10 + 0.02 * static_cast<double>(stream % 4);
+    const Graph initial = ErdosRenyi(n, p, rng).value();
+    const int k = 3 + stream % 2;
+    const auto ops = MakeChurnStream(initial, kUpdatesPerStream, rng);
+
+    for (uint64_t budget : {uint64_t{0}, kUpdateWorkBudget}) {
+      SCOPED_TRACE("budget=" + std::to_string(budget));
+      // The unbatched engine, snapshotted after every update, is the
+      // reference that epoch_size=1 must reproduce byte for byte.
+      const StreamTrace unbatched =
+          RunStream(initial, ops, k, nullptr, budget, /*batch=*/1);
+      for (size_t epoch_size : kEpochSizes) {
+        SCOPED_TRACE("epoch_size=" + std::to_string(epoch_size));
+        const EpochTrace serial =
+            RunEpochStream(initial, ops, k, nullptr, budget, epoch_size);
+        if (epoch_size == 1) {
+          ASSERT_EQ(serial.snapshots, unbatched.snapshots)
+              << "an epoch of one update diverged from the unbatched engine";
+          ASSERT_EQ(serial.work, unbatched.work);
+          ASSERT_EQ(serial.aborted, unbatched.aborted);
+          ASSERT_EQ(serial.final_size, unbatched.final_size);
+        } else {
+          for (size_t e = 0; e < serial.dirty.size(); ++e) {
+            const size_t updates_in_epoch =
+                std::min(epoch_size, ops.size() - e * epoch_size);
+            if (serial.dirty[e] < updates_in_epoch) ++dedup_savings;
+          }
+        }
+        for (ThreadPool* pool : pools) {
+          SCOPED_TRACE("threads=" + std::to_string(pool->num_threads()));
+          const EpochTrace pooled =
+              RunEpochStream(initial, ops, k, pool, budget, epoch_size);
+          EXPECT_EQ(pooled.aborted, serial.aborted);
+          EXPECT_EQ(pooled.work, serial.work);
+          EXPECT_EQ(pooled.dirty, serial.dirty);
+          EXPECT_EQ(pooled.snapshots, serial.snapshots);
+          EXPECT_EQ(pooled.dirty_rebuilds, serial.dirty_rebuilds);
+          EXPECT_EQ(pooled.final_size, serial.final_size);
+        }
+      }
+    }
+  }
+  // The dedup must actually engage somewhere in the sweep, or the batched
+  // path degenerates into a loop over the serial one.
+  EXPECT_GE(dedup_savings, 50u) << "no epoch ever merged rebuild work";
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "graph/dynamic_graph.h"
+#include "graph/graph_builder.h"
 #include "test_util.h"
 
 namespace dkc {
@@ -148,6 +151,94 @@ TEST(ChurnStreamTest, SaturatedMirrorForcesDeletionsInsteadOfSpinning) {
 TEST(ChurnStreamTest, DegenerateGraphsYieldEmptyStreams) {
   Rng rng(12);
   EXPECT_TRUE(MakeChurnStream(Graph(), 10, rng).empty());
+}
+
+// Recomputes the generator's node pool: the `hot` highest-degree nodes
+// (ties by id) plus their neighborhoods.
+std::set<NodeId> HotPool(const Graph& g, size_t hot) {
+  std::vector<NodeId> by_degree(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) by_degree[u] = u;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&g](NodeId a, NodeId b) {
+                     return g.Degree(a) != g.Degree(b)
+                                ? g.Degree(a) > g.Degree(b)
+                                : a < b;
+                   });
+  hot = std::min(hot, by_degree.size());
+  std::set<NodeId> pool(by_degree.begin(), by_degree.begin() + hot);
+  for (size_t i = 0; i < hot; ++i) {
+    for (NodeId w : g.Neighbors(by_degree[i])) pool.insert(w);
+  }
+  return pool;
+}
+
+TEST(HotStreamTest, OpsAreValidInReplayOrderAndStayInsideThePool) {
+  Graph g = testing::RandomGraph(60, 0.12, /*seed=*/130);
+  Rng rng(13);
+  const auto ops = MakeHotNeighborhoodStream(g, 400, /*hot_nodes=*/6, rng);
+  ASSERT_EQ(ops.size(), 400u);
+  const std::set<NodeId> pool = HotPool(g, 6);
+  // The pool is a strict subset of the graph — otherwise "concentrated"
+  // means nothing and the test degenerates into the churn-stream one.
+  ASSERT_LT(pool.size(), g.num_nodes());
+  DynamicGraph dyn(g);
+  size_t inserts = 0;
+  for (const auto& op : ops) {
+    EXPECT_TRUE(pool.count(op.edge.first)) << "node " << op.edge.first;
+    EXPECT_TRUE(pool.count(op.edge.second)) << "node " << op.edge.second;
+    if (op.is_insert) {
+      ASSERT_TRUE(dyn.InsertEdge(op.edge.first, op.edge.second));
+      ++inserts;
+    } else {
+      ASSERT_TRUE(dyn.DeleteEdge(op.edge.first, op.edge.second));
+    }
+  }
+  EXPECT_GT(inserts, 0u);
+  EXPECT_LT(inserts, ops.size());
+}
+
+TEST(HotStreamTest, DeterministicPerRngState) {
+  Graph g = testing::RandomGraph(50, 0.15, /*seed=*/131);
+  Rng rng1(14), rng2(14);
+  const auto a = MakeHotNeighborhoodStream(g, 200, 8, rng1);
+  const auto b = MakeHotNeighborhoodStream(g, 200, 8, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].is_insert, b[i].is_insert);
+    EXPECT_EQ(a[i].edge, b[i].edge);
+  }
+}
+
+TEST(HotStreamTest, TinyPoolSaturatesWithoutSpinning) {
+  // One hot node with two neighbors: at most 3 pool pairs, so the insert
+  // bias saturates almost immediately and the generator must keep
+  // alternating instead of rejection-sampling forever.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  Graph g = b.Build();
+  Rng rng(15);
+  const auto ops = MakeHotNeighborhoodStream(g, 100, /*hot_nodes=*/1, rng);
+  ASSERT_EQ(ops.size(), 100u);
+  DynamicGraph dyn(g);
+  for (const auto& op : ops) {
+    if (op.is_insert) {
+      ASSERT_TRUE(dyn.InsertEdge(op.edge.first, op.edge.second));
+    } else {
+      ASSERT_TRUE(dyn.DeleteEdge(op.edge.first, op.edge.second));
+    }
+  }
+}
+
+TEST(HotStreamTest, DegeneratePoolYieldsEmptyStream) {
+  Rng rng(16);
+  EXPECT_TRUE(MakeHotNeighborhoodStream(Graph(), 10, 4, rng).empty());
+  // A single isolated node: pool of one, no pair to churn.
+  GraphBuilder lone;
+  lone.EnsureNode(0);
+  Graph g = lone.Build();
+  ASSERT_EQ(g.num_nodes(), 1u);
+  EXPECT_TRUE(MakeHotNeighborhoodStream(g, 10, 4, rng).empty());
 }
 
 }  // namespace

@@ -12,17 +12,29 @@
 //       maximum matching (the k=2 boundary case)
 //   dkc update --file=edges.txt --k=3 [--updates=2000] [--threads=4]
 //              [--update-budget-ms=x] [--update-branch-budget=n]
+//              [--batch=N] [--hot=H]
 //       dynamic maintenance over a synthetic mixed insert/delete stream,
-//       reporting per-update latency, swap activity, and budget aborts
+//       reporting per-update latency, swap activity, and budget aborts.
+//       --batch=N ingests through the epoch-batched path (N updates per
+//       ApplyBatch epoch, deduped rebuilds, updates/sec + dedup stats);
+//       --hot=H switches to a bursty stream concentrated on the H hottest
+//       nodes' neighborhoods — the workload where batching dedups most.
 //   dkc serve --snapshot=s.bin --wal=s.wal --file=edges.txt --k=3
 //             [--churn=2000 | --updates-from=path|-] [--checkpoint-every=n]
-//             [--no-sync] [--crash-after=n]
+//             [--no-sync] [--crash-after=n] [--batch=N] [--readers=R]
+//             [--top=K] [--crash-in-commit-window=n]
 //       durable serving loop: bootstrap (or crash-recover) a persistent
 //       store, ingest an update stream, checkpoint periodically, compact
 //       the WAL on exit. --churn regenerates the same deterministic stream
 //       on every invocation, so a recovered process resumes mid-stream;
 //       --crash-after=n injects a kill (_exit) after n applied updates for
-//       recovery drills.
+//       recovery drills. --batch=N ingests N updates per WAL group-commit
+//       epoch (one fsync per epoch); --crash-in-commit-window=n kills the
+//       process inside the group-commit window (WAL flushed, engine not
+//       yet applied) at the first epoch reaching seq n; --readers=R runs R
+//       concurrent threads reading the published SolutionView (lock-free
+//       epoch snapshots) while ingest runs; --top=K prints the K
+//       highest-score groups at the end.
 //
 // All subcommands also accept --ws=n,degree,beta to synthesize a
 // Watts-Strogatz graph instead of --file (handy without datasets), and
@@ -31,14 +43,17 @@
 // worker threads; solutions are byte-identical at any thread count.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "clique/kclique.h"
@@ -75,10 +90,13 @@ int Usage() {
                "  stats:  [--kmin=3 --kmax=6]\n"
                "  update: --k=3 [--updates=2000] [--update-budget-ms=x]\n"
                "          [--update-branch-budget=n] [--rebuild-min-slots=n]\n"
+               "          [--batch=N] [--hot=H]\n"
                "  serve:  --snapshot=path --wal=path --k=3\n"
                "          [--churn=n | --updates-from=path|-]\n"
                "          [--checkpoint-every=n] [--no-sync] "
-               "[--crash-after=n] [--no-skip]\n");
+               "[--crash-after=n] [--no-skip]\n"
+               "          [--batch=N] [--readers=R] [--top=K]\n"
+               "          [--crash-in-commit-window=n]\n");
   return 2;
 }
 
@@ -237,12 +255,26 @@ int RunUpdate(const dkc::Flags& flags, const dkc::Graph& g) {
 
   const size_t updates =
       static_cast<size_t>(flags.GetInt("updates", 2000));
+  const long batch = static_cast<long>(flags.GetInt("batch", 0));
+  const long hot = static_cast<long>(flags.GetInt("hot", 0));
   dkc::Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)) ^ 0xD15C);
-  dkc::MixedWorkload workload =
-      dkc::MakeMixedWorkload(g, updates / 2, updates - updates / 2, rng);
+  // --hot concentrates the stream on the hottest neighborhoods (applied on
+  // g itself); the default is the paper's mixed workload on prepared G'.
+  dkc::Graph base;
+  std::vector<dkc::UpdateOp> ops;
+  if (hot > 0) {
+    base = g;
+    ops = dkc::MakeHotNeighborhoodStream(g, updates,
+                                         static_cast<size_t>(hot), rng);
+  } else {
+    dkc::MixedWorkload workload =
+        dkc::MakeMixedWorkload(g, updates / 2, updates - updates / 2, rng);
+    base = std::move(workload.prepared);
+    ops = std::move(workload.ops);
+  }
 
   dkc::Timer build_timer;
-  auto solver = dkc::DynamicSolver::Build(workload.prepared, options);
+  auto solver = dkc::DynamicSolver::Build(base, options);
   if (!solver.ok()) {
     std::fprintf(stderr, "build: %s\n", solver.status().ToString().c_str());
     return 1;
@@ -257,28 +289,59 @@ int RunUpdate(const dkc::Flags& flags, const dkc::Graph& g) {
   dkc::Timer timer;
   uint64_t total_work = 0;
   uint64_t total_rebuild_cuts = 0;
-  for (const auto& op : workload.ops) {
-    const dkc::Status status =
-        op.is_insert ? solver->InsertEdge(op.edge.first, op.edge.second)
-                     : solver->DeleteEdge(op.edge.first, op.edge.second);
-    if (!status.ok()) {
-      std::fprintf(stderr, "update: %s\n", status.ToString().c_str());
-      return 1;
+  if (batch >= 1) {
+    // Epoch-batched ingestion: chunks of --batch updates per ApplyBatch.
+    const size_t n = static_cast<size_t>(batch);
+    const std::span<const dkc::UpdateOp> all(ops);
+    for (size_t i = 0; i < all.size(); i += n) {
+      const dkc::Status status =
+          solver->ApplyBatch(all.subspan(i, std::min(n, all.size() - i)));
+      if (!status.ok()) {
+        std::fprintf(stderr, "batch at op %zu: %s\n", i,
+                     status.ToString().c_str());
+        return 1;
+      }
+      total_work += solver->last_batch_stats().work;
+      total_rebuild_cuts += solver->last_batch_stats().rebuild_cuts;
     }
-    total_work += solver->last_update_stats().work;
-    total_rebuild_cuts += solver->last_update_stats().rebuild_cuts;
+  } else {
+    for (const auto& op : ops) {
+      const dkc::Status status =
+          op.is_insert ? solver->InsertEdge(op.edge.first, op.edge.second)
+                       : solver->DeleteEdge(op.edge.first, op.edge.second);
+      if (!status.ok()) {
+        std::fprintf(stderr, "update: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      total_work += solver->last_update_stats().work;
+      total_rebuild_cuts += solver->last_update_stats().rebuild_cuts;
+    }
   }
   const double total_ms = timer.ElapsedMillis();
   const auto& swaps = solver->lifetime_swap_stats();
-  std::printf("%zu updates in %.1f ms (%.0f ns/update, %.1f work "
-              "units/update)\n",
-              workload.ops.size(), total_ms,
-              workload.ops.empty()
-                  ? 0.0
-                  : 1e6 * total_ms / static_cast<double>(workload.ops.size()),
-              workload.ops.empty() ? 0.0
-                                   : static_cast<double>(total_work) /
-                                         static_cast<double>(workload.ops.size()));
+  std::printf("%zu updates in %.1f ms (%.0f ns/update, %.2f Mupdates/s, "
+              "%.1f work units/update)\n",
+              ops.size(), total_ms,
+              ops.empty() ? 0.0
+                          : 1e6 * total_ms / static_cast<double>(ops.size()),
+              total_ms <= 0 ? 0.0
+                            : static_cast<double>(ops.size()) /
+                                  (1e3 * total_ms),
+              ops.empty() ? 0.0 : static_cast<double>(total_work) /
+                                      static_cast<double>(ops.size()));
+  if (batch >= 1) {
+    // The dedup headline: each dirty slot is rebuilt once per epoch no
+    // matter how many updates touched it.
+    const uint64_t bu = solver->batched_updates_applied();
+    const uint64_t br = solver->batch_dirty_rebuilds();
+    std::printf("batched: %llu epochs (batch=%ld), %llu dirty-slot rebuilds "
+                "for %llu updates (%.2f rebuilds/update)\n",
+                static_cast<unsigned long long>(solver->batches_applied()),
+                batch, static_cast<unsigned long long>(br),
+                static_cast<unsigned long long>(bu),
+                bu == 0 ? 0.0
+                        : static_cast<double>(br) / static_cast<double>(bu));
+  }
   std::printf("swaps: %llu pops, %llu commits, %llu cliques gained; "
               "%llu budget aborts (%llu mid-rebuild cuts)\n",
               static_cast<unsigned long long>(swaps.pops),
@@ -351,6 +414,22 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
   options.checkpoint_every =
       static_cast<uint64_t>(flags.GetInt("checkpoint-every", 0));
   options.sync_every_append = !flags.GetBool("no-sync", false);
+  const long crash_in_window =
+      static_cast<long>(flags.GetInt("crash-in-commit-window", 0));
+  if (crash_in_window > 0) {
+    // Recovery drill for the group-commit window: the WAL group (members +
+    // commit marker) is flushed and fsynced, the engine has NOT applied
+    // the epoch. Recovery must replay the whole group.
+    options.after_group_flush = [crash_in_window](uint64_t last_seq) {
+      if (last_seq >= static_cast<uint64_t>(crash_in_window)) {
+        std::fprintf(stderr,
+                     "crash injection inside group-commit window at seq "
+                     "%llu\n",
+                     static_cast<unsigned long long>(last_seq));
+        std::_Exit(3);
+      }
+    };
+  }
 
   // Recover if a snapshot is already published at the path, else bootstrap
   // from the loaded graph.
@@ -363,10 +442,12 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
       return 1;
     }
     store = std::move(opened).value();
-    std::printf("recovered: seq=%llu, %llu WAL records replayed%s, |S|=%u\n",
+    std::printf("recovered: seq=%llu, %llu WAL records replayed%s%s, |S|=%u\n",
                 static_cast<unsigned long long>(store->applied_seq()),
                 static_cast<unsigned long long>(store->replayed_records()),
                 store->recovered_torn_tail() ? " (torn tail truncated)" : "",
+                store->recovered_torn_group() ? " (uncommitted group dropped)"
+                                              : "",
                 store->solver().solution_size());
   } else {
     auto created = dkc::DurableStore::Create(g, snapshot, wal, options);
@@ -415,25 +496,95 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
           ? 0
           : std::min<uint64_t>(store->applied_seq(), ops.size());
   const long crash_after = static_cast<long>(flags.GetInt("crash-after", 0));
+  const long batch = static_cast<long>(flags.GetInt("batch", 0));
+  const long readers = static_cast<long>(flags.GetInt("readers", 0));
+
+  // --readers=R: concurrent threads polling the published SolutionView
+  // while ingest runs — each read is a lock-free atomic load of an
+  // immutable epoch snapshot, never a partially applied epoch.
+  std::atomic<bool> ingest_done{false};
+  std::atomic<uint64_t> reader_inconsistent{0};
+  std::atomic<uint64_t> reader_epochs_seen{0};
+  std::vector<std::thread> reader_threads;
+  for (long r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&store, &ingest_done, &reader_inconsistent,
+                                 &reader_epochs_seen] {
+      uint64_t last_epoch = UINT64_MAX;
+      uint64_t distinct = 0;
+      while (!ingest_done.load(std::memory_order_acquire)) {
+        const auto view = store->solver().published_view();
+        std::string error;
+        if (!view->Consistent(&error)) {
+          reader_inconsistent.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (view->epoch != last_epoch) {
+          last_epoch = view->epoch;
+          ++distinct;
+        }
+        std::this_thread::yield();
+      }
+      reader_epochs_seen.fetch_add(distinct, std::memory_order_relaxed);
+    });
+  }
+
   dkc::Timer timer;
   uint64_t applied = 0;
-  for (size_t i = static_cast<size_t>(skip); i < ops.size(); ++i) {
-    const dkc::Status status = store->Apply(ops[i]);
-    if (!status.ok()) {
-      std::fprintf(stderr, "serve: op %zu: %s\n", i,
-                   status.ToString().c_str());
-      return 1;
+  dkc::Status ingest_error = dkc::Status::OK();
+  size_t failed_op = 0;
+  if (batch >= 1) {
+    // Epoch-batched ingestion: one WAL group commit (single fsync) per
+    // --batch updates. --crash-after acts at epoch granularity.
+    const size_t n = static_cast<size_t>(batch);
+    const std::span<const dkc::UpdateOp> all(ops);
+    for (size_t i = static_cast<size_t>(skip); i < all.size(); i += n) {
+      const size_t len = std::min(n, all.size() - i);
+      const dkc::Status status = store->ApplyBatch(all.subspan(i, len));
+      if (!status.ok()) {
+        ingest_error = status;
+        failed_op = i;
+        break;
+      }
+      applied += len;
+      if (crash_after > 0 && applied >= static_cast<uint64_t>(crash_after)) {
+        std::fprintf(stderr, "crash injection after %llu updates\n",
+                     static_cast<unsigned long long>(applied));
+        std::_Exit(3);
+      }
     }
-    ++applied;
-    if (crash_after > 0 && applied >= static_cast<uint64_t>(crash_after)) {
-      // Recovery drill: die without flushing or checkpointing. The WAL's
-      // per-append fsync is the only thing allowed to save us.
-      std::fprintf(stderr, "crash injection after %llu updates\n",
-                   static_cast<unsigned long long>(applied));
-      std::_Exit(3);
+  } else {
+    for (size_t i = static_cast<size_t>(skip); i < ops.size(); ++i) {
+      const dkc::Status status = store->Apply(ops[i]);
+      if (!status.ok()) {
+        ingest_error = status;
+        failed_op = i;
+        break;
+      }
+      ++applied;
+      if (crash_after > 0 && applied >= static_cast<uint64_t>(crash_after)) {
+        // Recovery drill: die without flushing or checkpointing. The WAL's
+        // per-append fsync is the only thing allowed to save us.
+        std::fprintf(stderr, "crash injection after %llu updates\n",
+                     static_cast<unsigned long long>(applied));
+        std::_Exit(3);
+      }
     }
   }
   const double total_ms = timer.ElapsedMillis();
+  ingest_done.store(true, std::memory_order_release);
+  for (std::thread& t : reader_threads) t.join();
+  if (!ingest_error.ok()) {
+    std::fprintf(stderr, "serve: op %zu: %s\n", failed_op,
+                 ingest_error.ToString().c_str());
+    return 1;
+  }
+  if (!reader_threads.empty()) {
+    std::printf("readers: %ld threads, %llu distinct epochs observed, "
+                "%llu inconsistent views\n",
+                readers,
+                static_cast<unsigned long long>(reader_epochs_seen.load()),
+                static_cast<unsigned long long>(reader_inconsistent.load()));
+    if (reader_inconsistent.load() != 0) return 1;
+  }
   if (applied > 0) {
     std::printf("applied %llu updates in %.1f ms (%.0f ns/update, "
                 "%llu checkpoints)\n",
@@ -457,6 +608,23 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
   }
   std::printf("final |S|=%u seq=%llu\n", store->solver().solution_size(),
               static_cast<unsigned long long>(store->applied_seq()));
+
+  const long top = static_cast<long>(flags.GetInt("top", 0));
+  if (top > 0) {
+    // Re-publish so the view reflects the final state even after an
+    // unbatched ingest (Apply does not publish; ApplyBatch does).
+    store->solver().PublishView();
+    const auto view = store->solver().published_view();
+    for (const auto& [score, gid] : view->TopK(static_cast<size_t>(top))) {
+      std::string nodes;
+      for (dkc::NodeId u : view->GroupMembers(gid)) {
+        if (!nodes.empty()) nodes += ' ';
+        nodes += std::to_string(u);
+      }
+      std::printf("top: group %u score %llu [%s]\n", gid,
+                  static_cast<unsigned long long>(score), nodes.c_str());
+    }
+  }
   return 0;
 }
 

@@ -15,6 +15,7 @@
 #include "graph/dag.h"
 #include "graph/ordering.h"
 #include "graph/preprocess.h"
+#include "util/cpu.h"
 
 namespace {
 
@@ -83,10 +84,39 @@ void BM_IntersectSortedRandom(benchmark::State& state) {
 }
 BENCHMARK(BM_IntersectSortedRandom)->Arg(16)->Arg(256)->Arg(4096);
 
-// A/B side of the DKC_BRANCHFREE_MERGE toggle: the branch-free merge on
-// the same random interleavings, benchmarked directly so every build
-// records both implementations (the default build's IntersectSorted is
-// the branchy merge).
+// The per-level A/B behind the SIMD dispatch: the same random
+// interleavings under a forced dispatch level, so one run records the
+// scalar-vs-SSE-vs-AVX2 crossover directly. Args are {size, level}
+// (level: 0 = scalar, 1 = SSE4.2, 2 = AVX2); rows above the host's
+// capability are skipped rather than silently downgraded. Sizes below
+// the crossover show the dispatch overhead the inline small-size gates
+// avoid; sizes above show the block-intersection win.
+void BM_IntersectSortedLevel(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  const auto level = static_cast<dkc::SimdLevel>(state.range(1));
+  if (level > dkc::CpuSimdLevel()) {
+    state.SkipWithError("level not supported by this host");
+    return;
+  }
+  std::vector<dkc::NodeId> a, b, out;
+  MakeRandomInterleaved(size, &a, &b);
+  dkc::SetSimdLevelOverride(level);
+  for (auto _ : state) {
+    dkc::IntersectSorted(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  dkc::ClearSimdLevelOverride();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * size));
+  state.SetLabel(dkc::SimdLevelName(level));
+}
+BENCHMARK(BM_IntersectSortedLevel)
+    ->ArgsProduct({{8, 16, 32, 64, 128, 256, 1024, 4096}, {0, 1, 2}});
+
+// A/B row for the retired DKC_BRANCHFREE_MERGE experiment: the branch-free
+// merge on the same random interleavings, benchmarked directly so every
+// build still records the implementation the PR 5 ablation measured (the
+// build flag is gone; SIMD dispatch superseded it).
 void BM_IntersectSortedBranchFree(benchmark::State& state) {
   const size_t size = static_cast<size_t>(state.range(0));
   std::vector<dkc::NodeId> a, b, out;

@@ -2,89 +2,10 @@
 
 #include <algorithm>
 
+// IntersectSorted and the dispatched word-level primitives live in
+// clique/intersect_simd.{h,cc}.
+
 namespace dkc {
-namespace {
-
-// Intersects by exponential probing: for each element of the small list,
-// gallop forward in the large one. O(|small| * log(|large|/|small|)) — the
-// win over the two-pointer merge once the size skew passes kGallopSkew.
-void IntersectGalloping(std::span<const NodeId> small,
-                        std::span<const NodeId> large,
-                        std::vector<NodeId>* out) {
-  size_t lo = 0;
-  for (NodeId x : small) {
-    if (lo >= large.size()) break;
-    size_t step = 1;
-    size_t hi = lo;
-    while (hi < large.size() && large[hi] < x) {
-      lo = hi + 1;
-      hi += step;
-      step <<= 1;
-    }
-    const size_t end = std::min(hi, large.size());
-    const NodeId* it = std::lower_bound(large.data() + lo, large.data() + end, x);
-    lo = static_cast<size_t>(it - large.data());
-    if (lo < large.size() && large[lo] == x) {
-      out->push_back(x);
-      ++lo;
-    }
-  }
-}
-
-}  // namespace
-
-void IntersectSortedBranchFree(std::span<const NodeId> a,
-                               std::span<const NodeId> b,
-                               std::vector<NodeId>* out) {
-  // Every iteration unconditionally writes the smaller head and advances
-  // by comparison masks; the write cursor moves only on a match. No
-  // data-dependent branches — but each iteration's loads depend on the
-  // previous advance, a serial chain the branchy merge's speculation
-  // overlaps (see the header note for the measured outcome).
-  out->clear();
-  if (a.size() > b.size()) std::swap(a, b);
-  out->resize(a.size());
-  NodeId* write = out->data();
-  size_t o = 0;
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    const NodeId x = a[i];
-    const NodeId y = b[j];
-    write[o] = x;
-    o += static_cast<size_t>(x == y);
-    i += static_cast<size_t>(x <= y);
-    j += static_cast<size_t>(y <= x);
-  }
-  out->resize(o);
-}
-
-void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
-                     std::vector<NodeId>* out) {
-  out->clear();
-  if (a.size() > b.size()) std::swap(a, b);
-  if (!a.empty() && a.size() * kGallopSkew <= b.size()) {
-    IntersectGalloping(a, b, out);
-    return;
-  }
-#if defined(DKC_BRANCHFREE_MERGE) && !defined(DKC_PORTABLE)
-  IntersectSortedBranchFree(a, b, out);
-#else
-  // Degeneracy-bounded DAG out-lists are near-equal in size, so the plain
-  // merge is the common case; galloping only pays at extreme skew.
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      out->push_back(a[i]);
-      ++i;
-      ++j;
-    }
-  }
-#endif
-}
 
 void NeighborhoodKernel::PrepareMap(NodeId num_nodes) {
   if (a_->local_of.size() < num_nodes) {
@@ -101,16 +22,31 @@ void NeighborhoodKernel::PrepareMap(NodeId num_nodes) {
 }
 
 void NeighborhoodKernel::MaterializeRow(NodeId i, uint64_t* row) {
-  std::fill_n(row, words_, uint64_t{0});
-  const uint32_t epoch = a_->epoch;
-  Count deg = 0;
-  for (NodeId w : dag_->OutNeighbors(uni_[i])) {
-    if (a_->map_epoch[w] != epoch) continue;
-    const NodeId j = a_->local_of[w];
-    row[j >> 6] |= uint64_t{1} << (j & 63);
-    ++deg;
+  // Two-phase bulk build: compact the epoch-valid local ids first (8-wide
+  // gather/compare/compress under AVX2 dispatch — the stamp check is the
+  // unpredictable branch of the scalar loop), then set the bits from the
+  // compact list. The id set and count are identical at every dispatch
+  // level, so rows and degrees never depend on the host.
+  const auto nbrs = dag_->OutNeighbors(uni_[i]);
+  if (a_->gather_scratch.size() < nbrs.size()) {
+    a_->gather_scratch.resize(nbrs.size());
   }
-  a_->deg_bound[i] = deg;
+  const size_t cnt =
+      GatherValidLocalIds(nbrs.data(), nbrs.size(), a_->map_epoch.data(),
+                          a_->epoch, a_->local_of.data(),
+                          a_->gather_scratch.data());
+  const NodeId* js = a_->gather_scratch.data();
+  if (words_ == 1) {
+    uint64_t bits = 0;
+    for (size_t t = 0; t < cnt; ++t) bits |= uint64_t{1} << js[t];
+    row[0] = bits;
+  } else {
+    std::fill_n(row, words_, uint64_t{0});
+    for (size_t t = 0; t < cnt; ++t) {
+      row[js[t] >> 6] |= uint64_t{1} << (js[t] & 63);
+    }
+  }
+  a_->deg_bound[i] = static_cast<Count>(cnt);
   a_->row_built[i >> 6] |= uint64_t{1} << (i & 63);
   ++rows_built_;
 }
@@ -153,12 +89,18 @@ NodeId NeighborhoodKernel::BuildFromRoot(const Dag& dag, NodeId root,
     a_->adj_list.clear();
     for (NodeId i = 0; i < s_; ++i) {
       // OutNeighbors is ascending in node id and local ids are assigned in
-      // that same order, so each local list comes out sorted.
-      for (NodeId w : dag.OutNeighbors(uni_[i])) {
-        if (a_->map_epoch[w] == epoch) {
-          a_->adj_list.push_back(a_->local_of[w]);
-        }
+      // that same order, so each local list comes out sorted (the bulk
+      // gather preserves input order).
+      const auto nbrs = dag.OutNeighbors(uni_[i]);
+      if (a_->gather_scratch.size() < nbrs.size()) {
+        a_->gather_scratch.resize(nbrs.size());
       }
+      const size_t cnt =
+          GatherValidLocalIds(nbrs.data(), nbrs.size(), a_->map_epoch.data(),
+                              epoch, a_->local_of.data(),
+                              a_->gather_scratch.data());
+      a_->adj_list.insert(a_->adj_list.end(), a_->gather_scratch.data(),
+                          a_->gather_scratch.data() + cnt);
       a_->adj_offsets[i + 1] = static_cast<Count>(a_->adj_list.size());
       a_->deg_bound[i] = a_->adj_offsets[i + 1] - a_->adj_offsets[i];
     }
@@ -189,7 +131,8 @@ void NeighborhoodKernel::MaterializeAllRows() {
     }
   } else {
     // Straight from kUnset: one tight fill pass, no per-row bookkeeping —
-    // the eager build of kernel v1, minus its matrix memset.
+    // the eager build of kernel v1, with each row's neighbor filter run
+    // through the dispatched bulk gather (see MaterializeRow).
     a_->row_built.assign(words_, ~uint64_t{0});
     a_->deg_bound.resize(s_);
     const uint32_t epoch = a_->epoch;
@@ -200,28 +143,35 @@ void NeighborhoodKernel::MaterializeAllRows() {
       // no read-modify-write per edge.
       a_->rows.resize(s_);
       for (NodeId i = 0; i < s_; ++i) {
-        uint64_t row = 0;
-        Count deg = 0;
-        for (NodeId w : dag_->OutNeighbors(uni_[i])) {
-          if (stamps[w] != epoch) continue;
-          row |= uint64_t{1} << local_of[w];
-          ++deg;
+        const auto nbrs = dag_->OutNeighbors(uni_[i]);
+        if (a_->gather_scratch.size() < nbrs.size()) {
+          a_->gather_scratch.resize(nbrs.size());
         }
+        const size_t cnt =
+            GatherValidLocalIds(nbrs.data(), nbrs.size(), stamps, epoch,
+                                local_of, a_->gather_scratch.data());
+        const NodeId* js = a_->gather_scratch.data();
+        uint64_t row = 0;
+        for (size_t t = 0; t < cnt; ++t) row |= uint64_t{1} << js[t];
         a_->rows[i] = row;
-        a_->deg_bound[i] = deg;
+        a_->deg_bound[i] = static_cast<Count>(cnt);
       }
     } else {
       a_->rows.assign(static_cast<size_t>(s_) * words_, 0);
       for (NodeId i = 0; i < s_; ++i) {
         uint64_t* row = a_->rows.data() + static_cast<size_t>(i) * words_;
-        Count deg = 0;
-        for (NodeId w : dag_->OutNeighbors(uni_[i])) {
-          if (stamps[w] != epoch) continue;
-          const NodeId j = local_of[w];
-          row[j >> 6] |= uint64_t{1} << (j & 63);
-          ++deg;
+        const auto nbrs = dag_->OutNeighbors(uni_[i]);
+        if (a_->gather_scratch.size() < nbrs.size()) {
+          a_->gather_scratch.resize(nbrs.size());
         }
-        a_->deg_bound[i] = deg;
+        const size_t cnt =
+            GatherValidLocalIds(nbrs.data(), nbrs.size(), stamps, epoch,
+                                local_of, a_->gather_scratch.data());
+        const NodeId* js = a_->gather_scratch.data();
+        for (size_t t = 0; t < cnt; ++t) {
+          row[js[t] >> 6] |= uint64_t{1} << (js[t] & 63);
+        }
+        a_->deg_bound[i] = static_cast<Count>(cnt);
       }
     }
     rows_built_ = s_;

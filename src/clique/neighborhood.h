@@ -57,6 +57,14 @@
 // sorted local-id lists and runs the classical merge recursion instead —
 // same visit order, same results.
 //
+// SIMD: the word-level inner loops ride the runtime-dispatched primitives
+// in clique/intersect_simd.h — MaterializeRow bulk-filters the epoch-valid
+// neighbors through GatherValidLocalIds (8-wide gather/compare/compress),
+// the multi-word BitRec intersection+count runs through AndPopcountWords /
+// PopcountWords, and MergeRec's IntersectSorted takes the shuffle-based
+// block intersection. Every dispatch level is byte-identical; DKC_PORTABLE
+// builds compile the scalar loops only (see util/cpu.h).
+//
 // Visitors: the private Visit/BitRec/MergeRec templates drive a visitor
 // with Enter/Exit (branch hooks, Enter may prune), LeafCount (candidate
 // count at the last level) and LeafId (per-candidate completion) hooks.
@@ -77,6 +85,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "clique/intersect_simd.h"
 #include "graph/dag.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
@@ -84,30 +93,6 @@
 #include "util/timer.h"
 
 namespace dkc {
-
-/// out = a ∩ b for sorted unique spans. `out` is overwritten. Switches to a
-/// galloping (exponential-probe) scan when the inputs differ in size by
-/// kGallopSkew or more; a plain two-pointer merge otherwise.
-void IntersectSorted(std::span<const NodeId> a, std::span<const NodeId> b,
-                     std::vector<NodeId>* out);
-
-/// The explicit branch-free variant of IntersectSorted's merge fallback:
-/// every loop iteration unconditionally writes the smaller head and
-/// advances by comparison masks, so the body carries no data-dependent
-/// branches (the candidate fix for the merge path's ±30% run-to-run
-/// layout sensitivity at n=4096). Measured on the dev host it LOSES
-/// 2-3.5x to the branchy merge even on random interleavings — branch
-/// speculation overlaps the loads the branch-free chain serializes — so
-/// IntersectSorted uses it only when built with -DDKC_BRANCHFREE_MERGE=ON
-/// (which DKC_PORTABLE overrides back to the plain merge). Exposed
-/// unconditionally so the crossover tests and bench_micro's A/B cover
-/// both implementations in every configuration.
-void IntersectSortedBranchFree(std::span<const NodeId> a,
-                               std::span<const NodeId> b,
-                               std::vector<NodeId>* out);
-
-/// Size ratio at which IntersectSorted switches from merging to galloping.
-inline constexpr size_t kGallopSkew = 32;
 
 /// Deterministic budget for charged enumerations: one unit per DFS branch
 /// entered (the visitor Enter hook). With `cap != 0`, an Enter attempt
@@ -157,6 +142,10 @@ struct KernelArena {
   std::vector<NodeId> adj_list;
   std::vector<NodeId> merge_full;
   std::vector<std::vector<NodeId>> merge_stack;
+
+  // Row-construction scratch: the epoch-valid local ids of the row being
+  // materialized, compacted by GatherValidLocalIds before the bits are set.
+  std::vector<NodeId> gather_scratch;
 
   // Visitor scratch.
   std::vector<NodeId> emit;            // global ids, root-prefixed
@@ -550,8 +539,7 @@ class NeighborhoodKernel {
   template <bool kLazy, typename V>
   bool BitRec(int remaining, const uint64_t* cand, int depth, V& visitor) {
     if (remaining == 1) {
-      Count n = 0;
-      for (NodeId w = 0; w < words_; ++w) n += std::popcount(cand[w]);
+      const Count n = PopcountWords(cand, words_);
       if (!visitor.LeafCount(n)) return false;
       if constexpr (V::kLeafIterates) {
         for (NodeId w = 0; w < words_; ++w) {
@@ -580,14 +568,12 @@ class NeighborhoodKernel {
           row = a_->rows.data() + static_cast<size_t>(i) * words_;
         }
         // cand may alias cand_stack: resolve `next` after RowFor, which
-        // never touches the stack.
+        // never touches the stack. The fused AND+popcount is dispatched
+        // (AVX2 above 8 words); `next` never overlaps `cand`/`row` — they
+        // are distinct depth slots and the row matrix respectively.
         uint64_t* next =
             a_->cand_stack.data() + static_cast<size_t>(depth + 1) * words_;
-        Count n = 0;
-        for (NodeId x = 0; x < words_; ++x) {
-          next[x] = cand[x] & row[x];
-          n += std::popcount(next[x]);
-        }
+        const Count n = AndPopcountWords(cand, row, next, words_);
         bool keep_going = true;
         if (n + 1 >= static_cast<Count>(remaining)) {
           keep_going = BitRec<kLazy>(remaining - 1, next, depth + 1, visitor);
@@ -614,6 +600,10 @@ class NeighborhoodKernel {
     for (NodeId i : cand) {
       if (a_->deg_bound[i] + 1 < static_cast<Count>(remaining)) continue;
       if (!visitor.Enter(i)) continue;
+      // Aliasing audit (IntersectSorted forbids out overlapping an input):
+      // `cand` views merge_full or merge_stack[depth-1], LocalNeighbors
+      // views adj_list, and `next` is merge_stack[depth] — three distinct
+      // allocations at every depth.
       auto& next = a_->merge_stack[depth];
       IntersectSorted(cand, LocalNeighbors(i), &next);
       bool keep_going = true;

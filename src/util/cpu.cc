@@ -1,0 +1,92 @@
+#include "util/cpu.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dkc {
+namespace {
+
+// The probe itself. __builtin_cpu_supports handles the cpuid leaves AND the
+// xgetbv OS-support check AVX needs, so a kernel that masked AVX state off
+// correctly reports unsupported.
+SimdLevel ProbeCpu() {
+#if !defined(DKC_PORTABLE) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSse42;
+#endif
+  return SimdLevel::kScalar;
+}
+
+// DKC_SIMD caps (never raises) the probed level; unknown values are ignored
+// so a typo degrades to the full-speed path instead of silently changing
+// semantics — every level is byte-identical anyway.
+SimdLevel ApplyEnvCap(SimdLevel probed) {
+  const char* env = std::getenv("DKC_SIMD");
+  if (env == nullptr) return probed;
+  SimdLevel cap = probed;
+  if (std::strcmp(env, "scalar") == 0) {
+    cap = SimdLevel::kScalar;
+  } else if (std::strcmp(env, "sse42") == 0 || std::strcmp(env, "sse4.2") == 0) {
+    cap = SimdLevel::kSse42;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    cap = SimdLevel::kAvx2;
+  }
+  return cap < probed ? cap : probed;
+}
+
+struct OverrideState {
+  bool active = false;
+  SimdLevel level = SimdLevel::kScalar;
+};
+
+OverrideState& Override() {
+  static OverrideState state;
+  return state;
+}
+
+void (*g_reresolve_hook)() = nullptr;
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse4.2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel CpuSimdLevel() {
+  static const SimdLevel level = ProbeCpu();
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  const OverrideState& ov = Override();
+  if (ov.active) return ov.level;
+  static const SimdLevel env_capped = ApplyEnvCap(CpuSimdLevel());
+  return env_capped;
+}
+
+void SetSimdLevelOverride(SimdLevel level) {
+  OverrideState& ov = Override();
+  ov.active = true;
+  ov.level = level < CpuSimdLevel() ? level : CpuSimdLevel();
+  if (g_reresolve_hook != nullptr) g_reresolve_hook();
+}
+
+void ClearSimdLevelOverride() {
+  Override().active = false;
+  if (g_reresolve_hook != nullptr) g_reresolve_hook();
+}
+
+namespace internal {
+void RegisterSimdReresolveHook(void (*hook)()) { g_reresolve_hook = hook; }
+}  // namespace internal
+
+}  // namespace dkc

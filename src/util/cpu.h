@@ -1,0 +1,55 @@
+// Runtime CPU capability probe + SIMD dispatch level selection.
+//
+// The clique kernels have SIMD variants (SSE4.2 / AVX2 shuffle intersection,
+// vectorized row construction and popcount reduction) that are compiled with
+// per-function target attributes and selected at runtime, so one binary runs
+// the best path the host supports and still works on any x86-64. The level
+// in effect is:
+//
+//   min(CpuSimdLevel(),            // cached cpuid probe of the host
+//       DKC_SIMD env override,     // "scalar" | "sse42" | "avx2"
+//       SetSimdLevelOverride())    // test/bench seam
+//
+// DKC_PORTABLE builds compile no SIMD at all and always report kScalar —
+// the portable scalar merge stays bit-for-bit what it was before dispatch
+// existed. Every level produces byte-identical outputs (asserted by the
+// intersect sweep and the differential harness under forced levels); the
+// level only ever changes speed.
+
+#ifndef DKC_UTIL_CPU_H_
+#define DKC_UTIL_CPU_H_
+
+#include <cstdint>
+
+namespace dkc {
+
+/// Dispatch tiers, ordered: each level includes everything below it.
+enum class SimdLevel : uint8_t { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level this CPU supports (cached cpuid probe; constant per run).
+/// Always kScalar in DKC_PORTABLE builds or on non-x86-64 targets.
+SimdLevel CpuSimdLevel();
+
+/// The level dispatch actually uses: CpuSimdLevel() clamped by the DKC_SIMD
+/// environment variable (read once) and by any SetSimdLevelOverride.
+SimdLevel ActiveSimdLevel();
+
+/// Force dispatch to `level` (clamped to CpuSimdLevel — requesting AVX2 on
+/// a host without it yields the best supported level). A test/bench seam:
+/// call only while no kernel is mid-traversal; not thread-safe.
+void SetSimdLevelOverride(SimdLevel level);
+
+/// Drop the override; dispatch returns to cpuid/env selection.
+void ClearSimdLevelOverride();
+
+namespace internal {
+/// Registered by the dispatch-table owner (intersect_simd.cc) so overrides
+/// can re-resolve cached function pointers. At most one hook.
+void RegisterSimdReresolveHook(void (*hook)());
+}  // namespace internal
+
+}  // namespace dkc
+
+#endif  // DKC_UTIL_CPU_H_

@@ -19,6 +19,7 @@
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "test_util.h"
+#include "util/cpu.h"
 #include "util/rng.h"
 
 namespace dkc {
@@ -81,6 +82,41 @@ TEST(DifferentialTest, PruningNeverChangesTheLightweightSolution) {
     ASSERT_TRUE(plain.ok() && pruned.ok());
     EXPECT_EQ(testing::Canonicalize(ToVectors(plain->set)),
               testing::Canonicalize(ToVectors(pruned->set)));
+  }
+}
+
+// The SIMD dispatch level (scalar / SSE4.2 / AVX2 — util/cpu.h) is only
+// allowed to change speed, never output: every solver method must return
+// byte-identical solutions at every level the host supports. This is the
+// end-to-end half of the intersect_simd byte-identity sweep — it exercises
+// the dispatched merge, the fused AND+popcount rows, and the gathered row
+// construction through real traversals instead of synthetic inputs.
+TEST(DifferentialTest, SimdDispatchLevelNeverChangesSolutions) {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (CpuSimdLevel() >= SimdLevel::kSse42) levels.push_back(SimdLevel::kSse42);
+  if (CpuSimdLevel() >= SimdLevel::kAvx2) levels.push_back(SimdLevel::kAvx2);
+  for (int case_index = 0; case_index < 16; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/7400);
+    SolverOptions options;
+    options.k = 3 + case_index % 3;
+    for (Method method : kHeuristics) {
+      SCOPED_TRACE(MethodName(method));
+      std::vector<std::vector<NodeId>> reference;
+      for (size_t li = 0; li < levels.size(); ++li) {
+        SetSimdLevelOverride(levels[li]);
+        options.method = method;
+        auto result = Solve(g, options);
+        ClearSimdLevelOverride();
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        if (li == 0) {
+          reference = ToVectors(result->set);
+        } else {
+          EXPECT_EQ(ToVectors(result->set), reference)
+              << "level=" << SimdLevelName(levels[li]);
+        }
+      }
+    }
   }
 }
 

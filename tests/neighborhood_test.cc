@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "graph/dag.h"
@@ -253,6 +254,48 @@ TEST(NeighborhoodKernelTest, AlternatingBuildModesKeepsMapClean) {
   }
 }
 
+TEST(NeighborhoodKernelTest, EpochWrapResetsRemapStamps) {
+  // The global->local map is validated by epoch stamps; PrepareMap bumps
+  // the epoch per build and, on uint32 wrap, must reset every stamp before
+  // restarting at epoch 1. If the reset were missing, entries stamped
+  // during the arena's *first* life (epoch 1) would alias the first
+  // post-wrap build: nodes outside the new universe would pass the stamp
+  // check with stale local ids and corrupt rows. Force the wrap through
+  // the arena seam and cross-check every root against a fresh kernel.
+  Graph g = testing::RandomGraph(32, 0.4, 2025);
+  Dag dag(g, DegeneracyOrdering(g));
+  KernelArena arena;
+  NeighborhoodKernel kernel(&arena);
+  // First life: populate the map at epoch 1 (the exact stamp value the
+  // post-wrap epoch restarts at).
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    kernel.BuildFromRoot(dag, u);
+  }
+  ASSERT_GE(arena.epoch, 1u);
+  // Jump to the wrap boundary: the next PrepareMap increments MAX -> 0,
+  // which must trigger the full stamp reset and land on epoch 1.
+  arena.epoch = std::numeric_limits<uint32_t>::max();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    kernel.BuildFromRoot(dag, u);
+    if (u == 0) {
+      EXPECT_EQ(arena.epoch, 1u) << "wrap must reset the epoch to 1";
+    }
+    NeighborhoodKernel fresh;
+    fresh.BuildFromRoot(dag, u);
+    for (int k = 3; k <= 5; ++k) {
+      EXPECT_EQ(kernel.CountCliques(k - 1), fresh.CountCliques(k - 1))
+          << "u=" << u << " k=" << k;
+    }
+  }
+  // A second forced wrap from the now-dirty map must behave identically.
+  arena.epoch = std::numeric_limits<uint32_t>::max();
+  kernel.BuildFromRoot(dag, 5);
+  EXPECT_EQ(arena.epoch, 1u);
+  NeighborhoodKernel fresh;
+  fresh.BuildFromRoot(dag, 5);
+  EXPECT_EQ(kernel.CountCliques(3), fresh.CountCliques(3));
+}
+
 TEST(NeighborhoodKernelTest, HugeSparseNeighborhoodFallsBackToMerge) {
   // Hub + ring under the *identity* ordering (degeneracy would cap every
   // out-degree, which is exactly why real roots stay on the bitmap path):
@@ -461,9 +504,9 @@ TEST(IntersectSkewTest, GallopingMatchesMergeAcrossTheCrossover) {
   }
 }
 
-// Whatever merge the build selected for the fallback (the classic
-// three-way merge by default, the branch-free loop under
-// DKC_BRANCHFREE_MERGE) — and the branch-free implementation itself,
+// Whatever merge dispatch selected for the fallback (the dispatched
+// scalar/SIMD merge — see intersect_simd.h; the per-level sweep lives in
+// intersect_simd_test.cc) — and the retired branch-free implementation,
 // which stays exposed in every configuration — must agree with the
 // reference on every overlap pattern, including the n=4096 shape whose
 // layout sensitivity motivated the branch-free variant.

@@ -5,6 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "clique/kclique.h"
 #include "core/basic_framework.h"
 #include "core/lightweight.h"
@@ -306,6 +312,37 @@ void BM_BasicSolvePrepruned(benchmark::State& state) {
 }
 BENCHMARK(BM_BasicSolvePrepruned)->Args({4, 0})->Args({4, 1});
 
+// Partitioned LP solve through the facade on the sparse-social instance
+// at k=4; args are {partitions, threads}. partitions == 0 is the classic
+// unpartitioned path, partitions == 1 measures the partition machinery at
+// zero parallelism, partitions == 4 the partition-parallel configuration —
+// all rows produce the byte-identical solution, so the deltas are pure
+// wall-clock (the P=1 vs P=4 comparison the roadmap tracks).
+void BM_PartitionedSolve(benchmark::State& state) {
+  const int k = 4;
+  dkc::Graph g = MakeSparseSocial(k);
+  dkc::SolverOptions options;
+  options.k = k;
+  options.method = dkc::Method::kLP;
+  options.partitions = static_cast<int>(state.range(0));
+  std::unique_ptr<dkc::ThreadPool> pool;
+  if (state.range(1) > 1) {
+    pool = std::make_unique<dkc::ThreadPool>(
+        static_cast<size_t>(state.range(1)));
+    options.pool = pool.get();
+  }
+  for (auto _ : state) {
+    auto result = dkc::Solve(g, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_PartitionedSolve)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({0, 4})
+    ->Args({4, 4});
+
 void BM_DynamicUpdate(benchmark::State& state) {
   dkc::Graph g = MakeWs(2000, 12);
   dkc::Rng rng(0xD11);
@@ -333,6 +370,99 @@ void BM_DynamicUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_DynamicUpdate)->Arg(3)->Arg(4)->Arg(5);
 
+// --json=path: machine-readable results beside the normal console table —
+// one JSON document with a row per benchmark run, consumed by the CI
+// artifact upload. Sticks to reporter fields that are stable across
+// google-benchmark releases (name, iterations, adjusted real/cpu time).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    int64_t iterations;
+    double real_time_ns;
+    double cpu_time_ns;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      rows_.push_back(Row{run.benchmark_name(), run.iterations,
+                          ToNanos(run, run.GetAdjustedRealTime()),
+                          ToNanos(run, run.GetAdjustedCPUTime())});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  static double ToNanos(const Run& run, double in_time_unit) {
+    switch (run.time_unit) {
+      case benchmark::kNanosecond:
+        return in_time_unit;
+      case benchmark::kMicrosecond:
+        return in_time_unit * 1e3;
+      case benchmark::kMillisecond:
+        return in_time_unit * 1e6;
+      default:
+        return in_time_unit * 1e9;  // seconds
+    }
+  }
+
+  std::vector<Row> rows_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<CapturingReporter::Row>& rows) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open --json file '%s'\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\"iterations\": %lld, \"real_time_ns\": %.3f, "
+                  "\"cpu_time_ns\": %.3f}",
+                  static_cast<long long>(rows[i].iterations),
+                  rows[i].real_time_ns, rows[i].cpu_time_ns);
+    out << "    {\"name\": \"" << JsonEscape(rows[i].name) << "\", " << buf
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel --json=path off before google-benchmark sees the argv (it rejects
+  // flags it does not know).
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty() && !WriteJson(json_path, reporter.rows())) return 1;
+  return 0;
+}

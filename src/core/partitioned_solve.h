@@ -1,0 +1,27 @@
+// Partition-parallel solve driver: run HG/GC/L/LP per partition on the
+// pool, then stitch boundary work with a deterministic serial pass so the
+// result is byte-identical to the unpartitioned engine at any partition
+// count P >= 1 and any thread count. See partition/partition.h for the
+// ownership/ghost model and partitioned_solve.cc for the per-method
+// determinism arguments.
+
+#ifndef DKC_CORE_PARTITIONED_SOLVE_H_
+#define DKC_CORE_PARTITIONED_SOLVE_H_
+
+#include "core/solver.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dkc {
+
+/// Partitioned execution of Solve() for options.partitions >= 1. Requires
+/// k >= 3 and method in {HG, GC, L, LP} (the Solve facade routes OPT and
+/// invalid k to the classic path). Honors preprocess/budget/pool exactly
+/// like the classic path and reports per-partition accounting in
+/// SolveResult::partitions.
+StatusOr<SolveResult> PartitionedSolve(const Graph& g,
+                                       const SolverOptions& options);
+
+}  // namespace dkc
+
+#endif  // DKC_CORE_PARTITIONED_SOLVE_H_

@@ -3,10 +3,94 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace dkc {
 namespace {
+
+// One (k-1)-core peel pass over the node-id range [lo, hi): seeds the local
+// queue with in-range nodes below `threshold` and cascades, but only
+// decrements in-range neighbors. Out-of-range neighbors of dead nodes are
+// buffered into `remote` (one entry per dead-node arc) for the caller to
+// apply later. With [0, n) and no remote buffer this IS the serial cascade.
+void PeelRange(const Graph& g, Count threshold, NodeId lo, NodeId hi,
+               std::vector<Count>& degree, std::vector<uint8_t>& alive,
+               std::vector<NodeId>* remote) {
+  std::vector<NodeId> queue;
+  for (NodeId u = lo; u < hi; ++u) {
+    degree[u] = g.Degree(u);
+    if (degree[u] < threshold) {
+      alive[u] = 0;
+      queue.push_back(u);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.back();
+    queue.pop_back();
+    for (NodeId v : g.Neighbors(u)) {
+      if (v < lo || v >= hi) {
+        if (remote != nullptr) remote->push_back(v);
+        continue;
+      }
+      if (alive[v] != 0 && --degree[v] < threshold) {
+        alive[v] = 0;
+        queue.push_back(v);
+      }
+    }
+  }
+}
+
+// Stage-1 peel driver: computes the (k-1)-core alive set, fanning out over
+// contiguous node-id ranges when a pool is given (each range touches only
+// its own degree/alive slice — disjoint writes), then applying the buffered
+// cross-range decrements and cascading globally to the fixpoint. The peel
+// is confluent — the (k-1)-core is unique and removal order never changes
+// which nodes can be driven below the threshold — so both paths produce the
+// identical alive set (preprocess_test asserts this per instance).
+void PeelLowDegree(const Graph& g, Count threshold, ThreadPool* pool,
+                   NodeId parallel_min_nodes, std::vector<uint8_t>* alive_out) {
+  const NodeId n = g.num_nodes();
+  std::vector<uint8_t>& alive = *alive_out;
+  std::vector<Count> degree(n, 0);
+  const size_t workers = pool == nullptr ? 0 : pool->num_threads();
+  if (workers <= 1 || n < parallel_min_nodes) {
+    PeelRange(g, threshold, 0, n, degree, alive, nullptr);
+    return;
+  }
+  const size_t ranges = workers;
+  std::vector<std::vector<NodeId>> remote(ranges);
+  for (size_t r = 0; r < ranges; ++r) {
+    pool->Submit([&, r] {
+      const NodeId lo = static_cast<NodeId>(r * static_cast<size_t>(n) / ranges);
+      const NodeId hi =
+          static_cast<NodeId>((r + 1) * static_cast<size_t>(n) / ranges);
+      PeelRange(g, threshold, lo, hi, degree, alive, &remote[r]);
+    });
+  }
+  pool->Wait();
+  // Serial merge: each dead node's cross-range arcs were buffered exactly
+  // once, so replaying them plus a global cascade lands on the fixpoint.
+  std::vector<NodeId> queue;
+  for (const std::vector<NodeId>& buffered : remote) {
+    for (NodeId v : buffered) {
+      if (alive[v] != 0 && --degree[v] < threshold) {
+        alive[v] = 0;
+        queue.push_back(v);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.back();
+    queue.pop_back();
+    for (NodeId v : g.Neighbors(u)) {
+      if (alive[v] != 0 && --degree[v] < threshold) {
+        alive[v] = 0;
+        queue.push_back(v);
+      }
+    }
+  }
+}
 
 // Per-arc undirected edge ids over the original CSR: arc p (the i-th
 // neighbor entry of u) maps to the id of the undirected edge {u, v}, shared
@@ -340,31 +424,17 @@ PreprocessResult PreprocessForKCliques(const Graph& g,
   // compacted core only, which is what makes preprocessing cheaper than
   // the passes it saves even when the core is tiny.
   std::vector<uint8_t> alive(n, 1);
-  {
-    const Count node_threshold = static_cast<Count>(options.k) - 1;
-    std::vector<Count> degree(n, 0);
-    std::vector<NodeId> queue;
-    for (NodeId u = 0; u < n; ++u) {
-      degree[u] = g.Degree(u);
-      if (degree[u] < node_threshold) {
-        alive[u] = 0;
-        queue.push_back(u);
-      }
-    }
-    std::vector<uint8_t> processed(n, 0);
-    while (!queue.empty()) {
-      const NodeId u = queue.back();
-      queue.pop_back();
-      processed[u] = 1;
-      ++stats.peeled_nodes;
-      for (NodeId v : g.Neighbors(u)) {
-        if (processed[v] != 0) continue;  // that edge was counted at v
-        ++stats.peeled_edges;  // edge dies with its first peeled endpoint
-        if (alive[v] != 0 && --degree[v] < node_threshold) {
-          alive[v] = 0;
-          queue.push_back(v);
-        }
-      }
+  PeelLowDegree(g, static_cast<Count>(options.k) - 1, options.pool,
+                options.parallel_peel_min_nodes, &alive);
+  // Order-independent accounting over the finished alive set (shared by the
+  // serial and partitioned peels): a dead-dead edge is attributed to its
+  // lower endpoint, a dead-alive edge to its dead one — each dying edge
+  // counted exactly once, no matter which cascade order killed it.
+  for (NodeId u = 0; u < n; ++u) {
+    if (alive[u] != 0) continue;
+    ++stats.peeled_nodes;
+    for (NodeId v : g.Neighbors(u)) {
+      if (alive[v] != 0 || u < v) ++stats.peeled_edges;
     }
   }
 

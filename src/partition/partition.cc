@@ -1,0 +1,118 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace dkc {
+
+std::vector<int> RangePartitioner::Assign(const Graph& g,
+                                          const Ordering& order,
+                                          int partitions) const {
+  const NodeId n = g.num_nodes();
+  std::vector<int> owner(n, 0);
+  if (n == 0 || partitions <= 1) return owner;
+  for (NodeId i = 0; i < n; ++i) {
+    owner[order.nodes[i]] = static_cast<int>(
+        static_cast<size_t>(i) * static_cast<size_t>(partitions) / n);
+  }
+  return owner;
+}
+
+Ordering RestrictOrdering(const Ordering& order,
+                          const std::vector<NodeId>& old_to_new,
+                          NodeId local_n) {
+  Ordering local;
+  local.nodes.reserve(local_n);
+  local.rank.assign(local_n, 0);
+  for (NodeId global : order.nodes) {
+    const NodeId mapped = old_to_new[global];
+    if (mapped == kInvalidNode) continue;
+    local.rank[mapped] = static_cast<NodeId>(local.nodes.size());
+    local.nodes.push_back(mapped);
+  }
+  return local;
+}
+
+namespace {
+
+void BuildOnePartition(const Graph& g, const Ordering& order,
+                       std::span<const int> owner, int p,
+                       GraphPartition* part) {
+  const NodeId n = g.num_nodes();
+  part->stats.index = p;
+
+  // Local node set: owned nodes plus their out-of-partition neighbors
+  // (ghosts). Collected in ascending global id so the remap is monotone.
+  std::vector<uint8_t> ghost(n, 0);
+  part->old_to_new.assign(n, kInvalidNode);
+  for (NodeId u = 0; u < n; ++u) {
+    if (owner[u] != p) continue;
+    for (NodeId v : g.Neighbors(u)) {
+      if (owner[v] != p) ghost[v] = 1;
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (owner[u] == p || ghost[u] != 0) {
+      part->old_to_new[u] = static_cast<NodeId>(part->new_to_old.size());
+      part->new_to_old.push_back(u);
+    }
+  }
+  const NodeId local_n = static_cast<NodeId>(part->new_to_old.size());
+
+  // Induced rows: global rows are sorted and the remap is monotone, so the
+  // filtered-and-mapped rows stay sorted. An owned node keeps its entire
+  // row; a ghost keeps only the locally present part.
+  std::vector<Count> offsets(local_n + 1, 0);
+  std::vector<NodeId> neighbors;
+  part->owned.assign(local_n, 0);
+  part->uncertain0.assign(local_n, 1);  // ghosts stay 1; owned refined below
+  for (NodeId lu = 0; lu < local_n; ++lu) {
+    const NodeId u = part->new_to_old[lu];
+    const bool is_owned = owner[u] == p;
+    part->owned[lu] = is_owned ? 1 : 0;
+    bool has_remote_attacker = false;
+    bool has_remote_neighbor = false;
+    for (NodeId v : g.Neighbors(u)) {
+      const NodeId lv = part->old_to_new[v];
+      if (lv != kInvalidNode) neighbors.push_back(lv);
+      if (is_owned && owner[v] != p) {
+        has_remote_neighbor = true;
+        ++part->stats.boundary_edges;
+        if (order.rank[v] > order.rank[u]) has_remote_attacker = true;
+      }
+    }
+    offsets[lu + 1] = neighbors.size();
+    if (is_owned) {
+      ++part->stats.owned_nodes;
+      part->uncertain0[lu] = has_remote_attacker ? 1 : 0;
+      if (has_remote_neighbor) ++part->stats.boundary_nodes;
+    } else {
+      ++part->stats.ghost_nodes;
+    }
+  }
+  part->local = Graph(std::move(offsets), std::move(neighbors));
+  part->stats.local_edges = part->local.num_edges();
+  part->orientation = RestrictOrdering(order, part->old_to_new, local_n);
+}
+
+}  // namespace
+
+std::vector<GraphPartition> BuildPartitions(const Graph& g,
+                                            const Ordering& order,
+                                            std::span<const int> owner,
+                                            int partitions, ThreadPool* pool) {
+  std::vector<GraphPartition> parts(static_cast<size_t>(partitions));
+  if (pool != nullptr && pool->num_threads() > 1 && partitions > 1) {
+    pool->ParallelFor(parts.size(), [&](size_t p) {
+      BuildOnePartition(g, order, owner, static_cast<int>(p), &parts[p]);
+    });
+  } else {
+    for (size_t p = 0; p < parts.size(); ++p) {
+      BuildOnePartition(g, order, owner, static_cast<int>(p), &parts[p]);
+    }
+  }
+  return parts;
+}
+
+}  // namespace dkc

@@ -1,0 +1,130 @@
+// Partitioned execution model: split a (preprocessed) CSR into P partitions
+// for partition-parallel solving with deterministic boundary stitching.
+//
+// The vocabulary follows the distributed-graph literature (Galois libdist):
+// every node is OWNED by exactly one partition; each partition additionally
+// carries GHOST copies of the out-of-partition neighbors of its owned nodes.
+// The partition's local graph is the subgraph induced on owned ∪ ghost with
+// a monotone (ascending-global-id) local remap, in the exact style of
+// PreprocessResult: rows stay sorted, and every id tie-break a solver makes
+// on local ids agrees with the one it would make on global ids.
+//
+// The property the solvers build on: for an owned node u, ALL of N(u) is
+// present locally (neighbors are owned or ghost by construction), and every
+// edge between two members of N+(u) survives induction (both endpoints are
+// local). A per-root clique search rooted at an owned node therefore sees a
+// universe isomorphic to the global one — the foundation of the
+// byte-identity argument in core/partitioned_solve.cc.
+//
+// GraphPartitioner is the assignment policy seam: RangePartitioner cuts the
+// solve order into contiguous equal-size ranges (degeneracy-order locality,
+// and boundary roots cluster at range seams); a METIS-style or hash policy
+// plugs in by implementing Assign without touching the solve path, which is
+// correct for ANY owner map.
+
+#ifndef DKC_PARTITION_PARTITION_H_
+#define DKC_PARTITION_PARTITION_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ordering.h"
+
+namespace dkc {
+
+class ThreadPool;
+
+/// Per-partition accounting surfaced through SolveResult and `dkc solve
+/// --partitions=P`.
+struct PartitionStats {
+  int index = 0;
+  NodeId owned_nodes = 0;
+  /// Local copies of out-of-partition neighbors of owned nodes.
+  NodeId ghost_nodes = 0;
+  /// Owned nodes with at least one out-of-partition neighbor.
+  NodeId boundary_nodes = 0;
+  /// Owned–ghost edges in the local graph (the cut incident to this
+  /// partition, counted once per owned endpoint).
+  Count boundary_edges = 0;
+  /// Undirected edges of the local induced subgraph.
+  Count local_edges = 0;
+  /// Work the partition pass resolved without the serial stitcher (HG:
+  /// certain accepts; GC: cliques listed; L/LP: heap entries seeded).
+  Count local_committed = 0;
+  /// Work handed to the deterministic serial stitch pass (HG: boundary
+  /// hints whose outcome depends on other partitions).
+  Count stitch_deferred = 0;
+  /// Wall clock of this partition's parallel solve pass.
+  double elapsed_ms = 0.0;
+};
+
+/// One partition: local induced CSR plus the maps/flags the partitioned
+/// solvers need. Built by BuildPartitions.
+struct GraphPartition {
+  /// Induced subgraph on owned ∪ ghost, local ids ascending in global id.
+  Graph local;
+  /// local id -> global id, strictly ascending (monotone remap).
+  std::vector<NodeId> new_to_old;
+  /// global id -> local id, kInvalidNode for nodes not in this partition.
+  std::vector<NodeId> old_to_new;
+  /// Per local node: 1 iff owned by this partition (0 = ghost).
+  std::vector<uint8_t> owned;
+  /// Per local node: 1 iff an out-of-partition decision could consume it —
+  /// every ghost, plus every owned node with a higher-rank (under
+  /// `orientation`'s global order) out-of-partition neighbor. The seed of
+  /// HG's certainty propagation (see core/partitioned_solve.cc).
+  std::vector<uint8_t> uncertain0;
+  /// The global solve order restricted to the local nodes: pairwise rank
+  /// comparisons among local nodes match the global order exactly.
+  Ordering orientation;
+  PartitionStats stats;
+};
+
+/// Partition-assignment policy: maps every node of `g` to an owner in
+/// [0, partitions). Implementations must be deterministic pure functions of
+/// (g, order, partitions); any valid owner map yields byte-identical
+/// partitioned solutions, so policies trade only locality and balance.
+class GraphPartitioner {
+ public:
+  virtual ~GraphPartitioner() = default;
+  virtual const char* name() const = 0;
+  /// Returns owner[u] for every node u of g. `order` is the solve
+  /// orientation the partitioned driver will use.
+  virtual std::vector<int> Assign(const Graph& g, const Ordering& order,
+                                  int partitions) const = 0;
+};
+
+/// Default policy: cut the solve order into `partitions` contiguous ranges
+/// of (near-)equal node count. Contiguity in rank keeps each partition's
+/// root sweep a dense slice of the global sweep and confines HG's
+/// uncertainty seeds to range seams.
+class RangePartitioner final : public GraphPartitioner {
+ public:
+  const char* name() const override { return "range"; }
+  std::vector<int> Assign(const Graph& g, const Ordering& order,
+                          int partitions) const override;
+};
+
+/// Restrict a global total order to one partition's local id space:
+/// local ranks are dense, and rank comparisons between any two local nodes
+/// agree with `order`. (The same restriction preprocess applies to the
+/// degeneracy order of the pruned graph.)
+Ordering RestrictOrdering(const Ordering& order,
+                          const std::vector<NodeId>& old_to_new,
+                          NodeId local_n);
+
+/// Materialize the partitions for `owner` (from GraphPartitioner::Assign):
+/// local CSRs, ghost maps, restricted orientations, uncertainty seeds, and
+/// the static PartitionStats counters. Partition construction fans out on
+/// `pool` when given (each partition is independent; outputs are identical
+/// at any thread count).
+std::vector<GraphPartition> BuildPartitions(const Graph& g,
+                                            const Ordering& order,
+                                            std::span<const int> owner,
+                                            int partitions,
+                                            ThreadPool* pool = nullptr);
+
+}  // namespace dkc
+
+#endif  // DKC_PARTITION_PARTITION_H_

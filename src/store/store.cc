@@ -1,10 +1,56 @@
 #include "store/store.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <utility>
 
 #include "io/atomic_file.h"
 
 namespace dkc {
+namespace {
+
+std::string RetainedName(const std::string& snapshot_path, uint64_t seq) {
+  return snapshot_path + "." + std::to_string(seq);
+}
+
+}  // namespace
+
+std::vector<uint64_t> DurableStore::ScanRetained(
+    const std::string& snapshot_path) {
+  namespace fs = std::filesystem;
+  const fs::path path(snapshot_path);
+  const fs::path dir =
+      path.parent_path().empty() ? fs::path(".") : path.parent_path();
+  const std::string prefix = path.filename().string() + ".";
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string suffix = name.substr(prefix.size());
+    if (suffix.find_first_not_of("0123456789") != std::string::npos) continue;
+    seqs.push_back(std::stoull(suffix));
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+StatusOr<DynamicSolver> DurableStore::LoadPointInTime(
+    const std::string& snapshot_file, const DynamicOptions& dynamic) {
+  auto loaded = ReadSnapshot(snapshot_file);
+  if (!loaded.ok()) return loaded.status();
+  DynamicOptions options = dynamic;
+  options.k = loaded->meta.k;
+  return DynamicSolver::FromState(std::move(loaded->state), options);
+}
 
 StatusOr<DurableStore> DurableStore::Create(const Graph& g,
                                             const std::string& snapshot_path,
@@ -14,7 +60,12 @@ StatusOr<DurableStore> DurableStore::Create(const Graph& g,
   if (!solver.ok()) return solver.status();
   DKC_RETURN_IF_ERROR(WriteSnapshot(solver->state(), 0, snapshot_path));
   // Atomic reset rather than truncate: a stale WAL from a previous store
-  // at this path must not replay into the fresh one.
+  // at this path must not replay into the fresh one — and likewise any
+  // retained snapshot rotations of that previous store must not be
+  // mistaken for this one's history.
+  for (uint64_t seq : ScanRetained(snapshot_path)) {
+    std::remove(RetainedName(snapshot_path, seq).c_str());
+  }
   DKC_RETURN_IF_ERROR(AtomicWriteFile(wal_path, ""));
   auto wal = WalWriter::Open(wal_path);
   if (!wal.ok()) return wal.status();
@@ -100,6 +151,7 @@ StatusOr<DurableStore> DurableStore::Open(const std::string& snapshot_path,
   store.replayed_records_ = replayed;
   store.recovered_torn_tail_ = scan->torn_tail;
   store.recovered_torn_group_ = scan->torn_group;
+  store.retained_snapshots_ = ScanRetained(snapshot_path);
   return store;
 }
 
@@ -171,6 +223,25 @@ Status DurableStore::ApplyBatch(std::span<const UpdateOp> ops) {
 }
 
 Status DurableStore::Checkpoint() {
+  // Retention: hard-link the outgoing snapshot aside under the seq it
+  // covers BEFORE the publish replaces the primary path — the atomic
+  // rename swaps the inode out, so the link keeps the old bytes, and a
+  // crash anywhere in this sequence still leaves a complete snapshot at
+  // snapshot_path_. Skipped when nothing new would be published (the
+  // retained copy would duplicate the incoming live snapshot).
+  if (options_.keep_snapshots > 1 && checkpoint_seq_ < applied_seq_) {
+    if (!std::binary_search(retained_snapshots_.begin(),
+                            retained_snapshots_.end(), checkpoint_seq_)) {
+      const std::string aside = RetainedName(snapshot_path_, checkpoint_seq_);
+      std::remove(aside.c_str());  // untracked leftover from a crash
+      if (::link(snapshot_path_.c_str(), aside.c_str()) != 0) {
+        return Status::IOError("link '" + snapshot_path_ + "' -> '" + aside +
+                               "': " + std::strerror(errno));
+      }
+      // checkpoint_seq_ only grows, so appending keeps the list sorted.
+      retained_snapshots_.push_back(checkpoint_seq_);
+    }
+  }
   DKC_RETURN_IF_ERROR(
       WriteSnapshot(solver_->state(), applied_seq_, snapshot_path_));
   // The snapshot now covers every logged record; compact the WAL. Crash
@@ -182,6 +253,16 @@ Status DurableStore::Checkpoint() {
   wal_ = std::move(wal).value();
   checkpoint_seq_ = applied_seq_;
   ++checkpoints_taken_;
+  // Enforce the retention window (also shrinks history when a store is
+  // reopened with a smaller keep_snapshots).
+  const size_t keep = options_.keep_snapshots > 1
+                          ? static_cast<size_t>(options_.keep_snapshots) - 1
+                          : 0;
+  while (retained_snapshots_.size() > keep) {
+    std::remove(
+        RetainedName(snapshot_path_, retained_snapshots_.front()).c_str());
+    retained_snapshots_.erase(retained_snapshots_.begin());
+  }
   return Status::OK();
 }
 

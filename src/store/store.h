@@ -34,6 +34,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "dynamic/dynamic_solver.h"
 #include "dynamic/workload.h"
@@ -59,6 +60,15 @@ struct StoreOptions {
   /// engine applies the epoch — with the group's last seq. Production
   /// leaves it empty.
   std::function<void(uint64_t)> after_group_flush;
+  /// Total published snapshots retained, the live one included (min 1 =
+  /// today's behaviour: only the live file). With N > 1, Checkpoint first
+  /// hard-links the outgoing snapshot aside as "<snapshot_path>.<seq>"
+  /// (the applied seq it covers — compaction-safe: every checkpoint also
+  /// compacts the WAL, so a retained file is a complete point-in-time
+  /// state needing no log) before publishing the new one, then prunes the
+  /// oldest beyond N-1. The link-aside precedes the publish, so a crash at
+  /// any point leaves a complete snapshot at the primary path.
+  int keep_snapshots = 1;
 };
 
 class DurableStore {
@@ -87,8 +97,15 @@ class DurableStore {
   /// batch is a no-op.
   Status ApplyBatch(std::span<const UpdateOp> ops);
 
-  /// Snapshot now and compact the WAL.
+  /// Snapshot now and compact the WAL. With keep_snapshots > 1 the
+  /// outgoing snapshot is retained aside first (see StoreOptions).
   Status Checkpoint();
+
+  /// Open a snapshot file — typically a retained "<snapshot_path>.<seq>"
+  /// rotation — as a standalone point-in-time engine, without touching the
+  /// live store or any WAL. `dynamic.k` is overridden by the snapshot's.
+  static StatusOr<DynamicSolver> LoadPointInTime(
+      const std::string& snapshot_file, const DynamicOptions& dynamic);
 
   DynamicSolver& solver() { return *solver_; }
   const DynamicSolver& solver() const { return *solver_; }
@@ -109,6 +126,13 @@ class DurableStore {
   const std::string& snapshot_path() const { return snapshot_path_; }
   const std::string& wal_path() const { return wal_path_; }
 
+  /// Applied seqs of the retained point-in-time snapshots, ascending. The
+  /// live snapshot_path file is not listed. Rediscovered by directory scan
+  /// on Open; cleared (and the files deleted) by Create.
+  const std::vector<uint64_t>& retained_snapshots() const {
+    return retained_snapshots_;
+  }
+
  private:
   DurableStore(DynamicSolver solver, WalWriter wal, std::string snapshot_path,
                std::string wal_path, const StoreOptions& options)
@@ -118,8 +142,13 @@ class DurableStore {
         wal_path_(std::move(wal_path)),
         options_(options) {}
 
+  /// "<snapshot_path>.<digits>" files next to the live snapshot, ascending
+  /// by seq.
+  static std::vector<uint64_t> ScanRetained(const std::string& snapshot_path);
+
   std::optional<DynamicSolver> solver_;  // engaged for the object's lifetime
   std::optional<WalWriter> wal_;
+  std::vector<uint64_t> retained_snapshots_;
   std::string snapshot_path_;
   std::string wal_path_;
   StoreOptions options_;

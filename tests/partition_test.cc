@@ -1,0 +1,301 @@
+// Partitioned execution model invariants (core/partitioned_solve.h,
+// partition/partition.h):
+//
+//  * the headline contract — partitioned solve at P ∈ {1,2,4,8} is
+//    byte-identical to the unpartitioned engine for all four heuristic
+//    methods, across the 52 mixed differential instances, serially and on
+//    2/4-thread pools (same cliques, same order, same node order);
+//  * ghost-map round-trips — monotone remap, inverse maps, complete rows
+//    for owned nodes, every node owned exactly once, stats consistency;
+//  * degenerate shapes — empty graphs, singleton partitions, P > n.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "core/verify.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/ordering.h"
+#include "partition/partition.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace dkc {
+namespace {
+
+std::vector<std::vector<NodeId>> ToVectors(const CliqueStore& set) {
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(set.size());
+  for (CliqueId c = 0; c < set.size(); ++c) {
+    const auto clique = set.Get(c);
+    out.emplace_back(clique.begin(), clique.end());
+  }
+  return out;
+}
+
+TEST(PartitionTest, PartitionedSolveIsByteIdenticalToUnpartitioned) {
+  constexpr Method kMethods[] = {Method::kHG, Method::kGC, Method::kL,
+                                 Method::kLP};
+  constexpr int kPartitionCounts[] = {1, 2, 4, 8};
+  constexpr int kInstances = 52;
+  ThreadPool pool2(2), pool4(4);
+  ThreadPool* pools[] = {nullptr, &pool2, &pool4};
+  for (int case_index = 0; case_index < kInstances; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/7000);
+    const int k = 3 + case_index % 3;
+    for (Method method : kMethods) {
+      SCOPED_TRACE(MethodName(method));
+      SolverOptions options;
+      options.k = k;
+      options.method = method;
+      auto classic = Solve(g, options);
+      ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+      ASSERT_TRUE(classic->partitions.empty());
+      const auto expected = ToVectors(classic->set);
+      EXPECT_TRUE(VerifySolution(g, classic->set).ok());
+      for (int partitions : kPartitionCounts) {
+        SCOPED_TRACE("partitions=" + std::to_string(partitions));
+        for (ThreadPool* pool : pools) {
+          SCOPED_TRACE("threads=" +
+                       std::to_string(pool == nullptr ? 0
+                                                      : pool->num_threads()));
+          options.partitions = partitions;
+          options.pool = pool;
+          auto partitioned = Solve(g, options);
+          ASSERT_TRUE(partitioned.ok()) << partitioned.status().ToString();
+          // Byte-identical: same cliques, same order, no canonicalization.
+          EXPECT_EQ(ToVectors(partitioned->set), expected);
+          EXPECT_EQ(partitioned->partitions.size(),
+                    static_cast<size_t>(partitions));
+        }
+        options.pool = nullptr;
+      }
+      options.partitions = 0;
+    }
+  }
+}
+
+// The byte-identity promise must not lean on preprocessing quirks: with the
+// pipeline disabled the partitioned driver orients the raw graph itself and
+// must still reproduce the classic path.
+TEST(PartitionTest, PartitionedSolveMatchesWithPreprocessingDisabled) {
+  constexpr Method kMethods[] = {Method::kHG, Method::kGC, Method::kL,
+                                 Method::kLP};
+  for (int case_index = 0; case_index < 12; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/7000);
+    for (Method method : kMethods) {
+      SCOPED_TRACE(MethodName(method));
+      SolverOptions options;
+      options.k = 3 + case_index % 3;
+      options.method = method;
+      options.preprocess = false;
+      auto classic = Solve(g, options);
+      ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+      options.partitions = 4;
+      auto partitioned = Solve(g, options);
+      ASSERT_TRUE(partitioned.ok()) << partitioned.status().ToString();
+      EXPECT_EQ(ToVectors(partitioned->set), ToVectors(classic->set));
+    }
+  }
+}
+
+TEST(PartitionTest, GhostMapsRoundTrip) {
+  const RangePartitioner partitioner;
+  for (int case_index = 0; case_index < 16; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/9100);
+    const NodeId n = g.num_nodes();
+    const Ordering order = DegeneracyOrdering(g);
+    for (int partitions : {1, 2, 4, 8}) {
+      SCOPED_TRACE("partitions=" + std::to_string(partitions));
+      const std::vector<int> owner = partitioner.Assign(g, order, partitions);
+      ASSERT_EQ(owner.size(), static_cast<size_t>(n));
+      for (NodeId u = 0; u < n; ++u) {
+        ASSERT_GE(owner[u], 0);
+        ASSERT_LT(owner[u], partitions);
+      }
+      const auto parts = BuildPartitions(g, order, owner, partitions);
+      ASSERT_EQ(parts.size(), static_cast<size_t>(partitions));
+      std::vector<int> owned_by(n, 0);
+      for (const GraphPartition& part : parts) {
+        const NodeId local_n = part.local.num_nodes();
+        ASSERT_EQ(part.new_to_old.size(), static_cast<size_t>(local_n));
+        ASSERT_EQ(part.old_to_new.size(), static_cast<size_t>(n));
+        ASSERT_EQ(part.owned.size(), static_cast<size_t>(local_n));
+        ASSERT_EQ(part.uncertain0.size(), static_cast<size_t>(local_n));
+        // Monotone remap: new_to_old strictly ascending, old_to_new inverse.
+        for (NodeId lu = 0; lu < local_n; ++lu) {
+          if (lu > 0) {
+            ASSERT_LT(part.new_to_old[lu - 1], part.new_to_old[lu]);
+          }
+          ASSERT_EQ(part.old_to_new[part.new_to_old[lu]], lu);
+        }
+        for (NodeId u = 0; u < n; ++u) {
+          if (part.old_to_new[u] != kInvalidNode) {
+            ASSERT_EQ(part.new_to_old[part.old_to_new[u]], u);
+          }
+        }
+        NodeId owned_nodes = 0, ghost_nodes = 0, boundary_nodes = 0;
+        for (NodeId lu = 0; lu < local_n; ++lu) {
+          const NodeId u = part.new_to_old[lu];
+          const auto local_row = part.local.Neighbors(lu);
+          const auto global_row = g.Neighbors(u);
+          if (part.owned[lu] != 0) {
+            owned_by[u] += 1;
+            ++owned_nodes;
+            // An owned node keeps its entire row, ghosts included.
+            ASSERT_EQ(local_row.size(), global_row.size());
+            bool boundary = false;
+            for (size_t i = 0; i < local_row.size(); ++i) {
+              ASSERT_EQ(part.new_to_old[local_row[i]], global_row[i]);
+              if (part.owned[local_row[i]] == 0) boundary = true;
+            }
+            if (boundary) ++boundary_nodes;
+            // Ghosts are uncertain by seed; owned certainty is refined.
+          } else {
+            ++ghost_nodes;
+            ASSERT_EQ(part.uncertain0[lu], 1);
+            // A ghost's local row is the induced subset of its global row.
+            size_t cursor = 0;
+            for (NodeId gv : global_row) {
+              if (part.old_to_new[gv] == kInvalidNode) continue;
+              ASSERT_LT(cursor, local_row.size());
+              ASSERT_EQ(part.new_to_old[local_row[cursor]], gv);
+              ++cursor;
+            }
+            ASSERT_EQ(cursor, local_row.size());
+          }
+        }
+        EXPECT_EQ(part.stats.owned_nodes, owned_nodes);
+        EXPECT_EQ(part.stats.ghost_nodes, ghost_nodes);
+        EXPECT_EQ(part.stats.boundary_nodes, boundary_nodes);
+        EXPECT_EQ(part.stats.local_edges, part.local.num_edges());
+        // The restricted ordering ranks exactly the local nodes, densely.
+        ASSERT_EQ(part.orientation.nodes.size(), static_cast<size_t>(local_n));
+        for (NodeId lu = 0; lu < local_n; ++lu) {
+          ASSERT_EQ(part.orientation.rank[part.orientation.nodes[lu]], lu);
+        }
+        // Rank comparisons agree with the global order.
+        for (NodeId lu = 1; lu < local_n; ++lu) {
+          const NodeId a = part.orientation.nodes[lu - 1];
+          const NodeId b = part.orientation.nodes[lu];
+          ASSERT_LT(order.rank[part.new_to_old[a]],
+                    order.rank[part.new_to_old[b]]);
+        }
+      }
+      // Every node owned exactly once across the partition set.
+      for (NodeId u = 0; u < n; ++u) ASSERT_EQ(owned_by[u], 1);
+    }
+  }
+}
+
+// BuildPartitions must fan out to the same bytes it produces serially.
+TEST(PartitionTest, PartitionConstructionIsThreadCountInvariant) {
+  ThreadPool pool4(4);
+  const RangePartitioner partitioner;
+  for (int case_index = 0; case_index < 8; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/9100);
+    const Ordering order = DegeneracyOrdering(g);
+    const std::vector<int> owner = partitioner.Assign(g, order, 4);
+    const auto serial = BuildPartitions(g, order, owner, 4);
+    const auto pooled = BuildPartitions(g, order, owner, 4, &pool4);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (size_t p = 0; p < serial.size(); ++p) {
+      EXPECT_EQ(serial[p].new_to_old, pooled[p].new_to_old);
+      EXPECT_EQ(serial[p].old_to_new, pooled[p].old_to_new);
+      EXPECT_EQ(serial[p].owned, pooled[p].owned);
+      EXPECT_EQ(serial[p].uncertain0, pooled[p].uncertain0);
+      EXPECT_EQ(serial[p].orientation.nodes, pooled[p].orientation.nodes);
+      EXPECT_EQ(serial[p].orientation.rank, pooled[p].orientation.rank);
+      ASSERT_EQ(serial[p].local.num_nodes(), pooled[p].local.num_nodes());
+      for (NodeId u = 0; u < serial[p].local.num_nodes(); ++u) {
+        const auto a = serial[p].local.Neighbors(u);
+        const auto b = pooled[p].local.Neighbors(u);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, DegenerateShapes) {
+  constexpr Method kMethods[] = {Method::kHG, Method::kGC, Method::kL,
+                                 Method::kLP};
+  // Empty graph, a graph smaller than P (singleton/empty partitions), and a
+  // single triangle split across 8 partitions.
+  std::vector<Graph> graphs;
+  graphs.push_back(Graph());
+  {
+    GraphBuilder b;
+    b.EnsureNode(3);  // 3 isolated nodes
+    graphs.push_back(b.Build());
+  }
+  {
+    GraphBuilder b;
+    b.AddEdge(0, 1);
+    b.AddEdge(1, 2);
+    b.AddEdge(0, 2);
+    graphs.push_back(b.Build());
+  }
+  {
+    // Two triangles sharing node 2: exercises cross-partition conflicts.
+    GraphBuilder b;
+    b.AddEdge(0, 1);
+    b.AddEdge(1, 2);
+    b.AddEdge(0, 2);
+    b.AddEdge(2, 3);
+    b.AddEdge(3, 4);
+    b.AddEdge(2, 4);
+    graphs.push_back(b.Build());
+  }
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    SCOPED_TRACE("graph=" + std::to_string(gi));
+    const Graph& g = graphs[gi];
+    for (Method method : kMethods) {
+      SCOPED_TRACE(MethodName(method));
+      SolverOptions options;
+      options.k = 3;
+      options.method = method;
+      auto classic = Solve(g, options);
+      ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+      for (int partitions : {1, 8}) {
+        SCOPED_TRACE("partitions=" + std::to_string(partitions));
+        options.partitions = partitions;
+        auto partitioned = Solve(g, options);
+        ASSERT_TRUE(partitioned.ok()) << partitioned.status().ToString();
+        EXPECT_EQ(ToVectors(partitioned->set), ToVectors(classic->set));
+        NodeId owned_total = 0;
+        for (const PartitionStats& stats : partitioned->partitions) {
+          owned_total += stats.owned_nodes;
+        }
+        EXPECT_LE(owned_total, g.num_nodes());
+      }
+      options.partitions = 0;
+    }
+  }
+}
+
+// OPT ignores the partitions knob (its MIS already decomposes by component)
+// and must keep working when it is set.
+TEST(PartitionTest, OptFallsBackToClassicPath) {
+  const Graph g = testing::RandomGraphMixed(0, /*seed=*/7000);
+  SolverOptions options;
+  options.k = 3;
+  options.method = Method::kOPT;
+  auto classic = Solve(g, options);
+  ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+  options.partitions = 4;
+  auto routed = Solve(g, options);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  EXPECT_EQ(ToVectors(routed->set), ToVectors(classic->set));
+  EXPECT_TRUE(routed->partitions.empty());
+}
+
+}  // namespace
+}  // namespace dkc

@@ -16,6 +16,7 @@
 #include "graph/preprocess.h"
 #include "test_util.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dkc {
 namespace {
@@ -232,6 +233,49 @@ TEST(PreprocessTest, EmptyGraphAndSmallKPassThrough) {
   const auto identity = RunPipeline(g, 2);
   EXPECT_EQ(identity.pruned.num_nodes(), g.num_nodes());
   EXPECT_EQ(identity.pruned.num_edges(), g.num_edges());
+}
+
+// The partitioned stage-1 peel (per-range peels + buffered cross-range
+// decrements + global cascade) must reach the exact fixpoint of the serial
+// cascade: same pruned CSR, same maps, same orientation, same statistics —
+// the peel is confluent and the accounting is order-independent. Forcing
+// parallel_peel_min_nodes=0 exercises the fan-out even on tiny graphs.
+TEST(PreprocessTest, ParallelPeelMatchesSerialOnEveryInstance) {
+  constexpr int kInstances = 52;
+  ThreadPool pool2(2), pool4(4);
+  ThreadPool* pools[] = {&pool2, &pool4};
+  for (int case_index = 0; case_index < kInstances; ++case_index) {
+    SCOPED_TRACE("case_index=" + std::to_string(case_index));
+    const Graph g = testing::RandomGraphMixed(case_index, /*seed=*/7000);
+    const int k = 3 + case_index % 3;
+    PreprocessOptions options;
+    options.k = k;
+    const PreprocessResult serial = PreprocessForKCliques(g, options);
+    CheckInvariants(g, serial);
+    for (ThreadPool* pool : pools) {
+      SCOPED_TRACE("threads=" + std::to_string(pool->num_threads()));
+      options.pool = pool;
+      options.parallel_peel_min_nodes = 0;
+      const PreprocessResult parallel = PreprocessForKCliques(g, options);
+      CheckInvariants(g, parallel);
+      EXPECT_EQ(parallel.new_to_old, serial.new_to_old);
+      EXPECT_EQ(parallel.old_to_new, serial.old_to_new);
+      EXPECT_EQ(parallel.orientation.nodes, serial.orientation.nodes);
+      EXPECT_EQ(parallel.orientation.rank, serial.orientation.rank);
+      ASSERT_EQ(parallel.pruned.num_nodes(), serial.pruned.num_nodes());
+      ASSERT_EQ(parallel.pruned.num_edges(), serial.pruned.num_edges());
+      for (NodeId u = 0; u < serial.pruned.num_nodes(); ++u) {
+        const auto a = serial.pruned.Neighbors(u);
+        const auto b = parallel.pruned.Neighbors(u);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+      }
+      EXPECT_EQ(parallel.stats.peeled_nodes, serial.stats.peeled_nodes);
+      EXPECT_EQ(parallel.stats.peeled_edges, serial.stats.peeled_edges);
+      EXPECT_EQ(parallel.stats.unsupported_edges,
+                serial.stats.unsupported_edges);
+      EXPECT_EQ(parallel.stats.rounds, serial.stats.rounds);
+    }
+  }
 }
 
 }  // namespace

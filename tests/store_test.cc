@@ -963,5 +963,138 @@ TEST(StoreTest, MixedBareAndBatchedTrafficReplaysThroughMatchingPaths) {
   CleanUp(paths);
 }
 
+// ------------------------------------------------------- snapshot retention
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+std::string RetainedPath(const StorePaths& paths, uint64_t seq) {
+  return paths.snapshot + "." + std::to_string(seq);
+}
+
+TEST(StoreTest, RetentionRotatesAndPrunesSnapshots) {
+  TestWorld world = MakeWorld(60, 109);
+  const StorePaths paths = MakeStorePaths("retention");
+  StoreOptions options = MakeStoreOptions();
+  options.keep_snapshots = 3;  // live + 2 retained
+
+  auto store =
+      DurableStore::Create(world.graph, paths.snapshot, paths.wal, options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(store->retained_snapshots().empty());
+
+  size_t applied = 0;
+  auto advance = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i, ++applied) {
+      ASSERT_TRUE(store->Apply(world.ops[applied]).ok()) << "op " << applied;
+    }
+  };
+
+  // Each checkpoint retires the outgoing snapshot under the seq it covers.
+  advance(10);
+  ASSERT_TRUE(store->Checkpoint().ok());
+  EXPECT_EQ(store->retained_snapshots(), (std::vector<uint64_t>{0}));
+  EXPECT_TRUE(FileExists(RetainedPath(paths, 0)));
+
+  advance(10);
+  ASSERT_TRUE(store->Checkpoint().ok());
+  EXPECT_EQ(store->retained_snapshots(), (std::vector<uint64_t>{0, 10}));
+
+  // Third rotation exceeds the window: the oldest file is pruned.
+  advance(10);
+  ASSERT_TRUE(store->Checkpoint().ok());
+  EXPECT_EQ(store->retained_snapshots(), (std::vector<uint64_t>{10, 20}));
+  EXPECT_FALSE(FileExists(RetainedPath(paths, 0)));
+  EXPECT_TRUE(FileExists(RetainedPath(paths, 10)));
+  EXPECT_TRUE(FileExists(RetainedPath(paths, 20)));
+
+  // A checkpoint with nothing new to publish must not duplicate history.
+  ASSERT_TRUE(store->Checkpoint().ok());
+  EXPECT_EQ(store->retained_snapshots(), (std::vector<uint64_t>{10, 20}));
+
+  // Every retained file is a complete point-in-time state: loading it
+  // reproduces the engine exactly as it stood at that seq.
+  for (uint64_t seq : store->retained_snapshots()) {
+    auto past =
+        DurableStore::LoadPointInTime(RetainedPath(paths, seq), TestOptions());
+    ASSERT_TRUE(past.ok()) << past.status().ToString();
+    EXPECT_EQ(EngineFingerprint(*past),
+              EngineFingerprint(ReferenceRun(world, seq)));
+  }
+
+  for (uint64_t seq : {uint64_t{0}, uint64_t{10}, uint64_t{20}}) {
+    std::remove(RetainedPath(paths, seq).c_str());
+  }
+  CleanUp(paths);
+}
+
+TEST(StoreTest, RetainedSnapshotsSurviveReopenAndCreateClearsThem) {
+  TestWorld world = MakeWorld(40, 110);
+  const StorePaths paths = MakeStorePaths("retention_reopen");
+  StoreOptions options = MakeStoreOptions();
+  options.keep_snapshots = 4;
+
+  {
+    auto store =
+        DurableStore::Create(world.graph, paths.snapshot, paths.wal, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (size_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(store->Apply(world.ops[i]).ok());
+      if ((i + 1) % 5 == 0) {
+        ASSERT_TRUE(store->Checkpoint().ok());
+      }
+    }
+    // keep_snapshots = 4 → the live file plus the three newest rotations.
+    EXPECT_EQ(store->retained_snapshots(), (std::vector<uint64_t>{5, 10, 15}));
+  }
+
+  // Open rediscovers the rotation history by directory scan.
+  auto reopened = DurableStore::Open(paths.snapshot, paths.wal, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->retained_snapshots(),
+            (std::vector<uint64_t>{5, 10, 15}));
+
+  // Reopening with a smaller window shrinks history at the next rotation.
+  StoreOptions narrow = options;
+  narrow.keep_snapshots = 2;
+  auto narrowed = DurableStore::Open(paths.snapshot, paths.wal, narrow);
+  ASSERT_TRUE(narrowed.ok()) << narrowed.status().ToString();
+  for (size_t i = 20; i < 25; ++i) {
+    ASSERT_TRUE(narrowed->Apply(world.ops[i]).ok());
+  }
+  ASSERT_TRUE(narrowed->Checkpoint().ok());
+  EXPECT_EQ(narrowed->retained_snapshots(), (std::vector<uint64_t>{20}));
+  EXPECT_FALSE(FileExists(RetainedPath(paths, 0)));
+  EXPECT_FALSE(FileExists(RetainedPath(paths, 15)));
+
+  // A fresh Create at the same paths must not inherit the old history.
+  auto recreated =
+      DurableStore::Create(world.graph, paths.snapshot, paths.wal, options);
+  ASSERT_TRUE(recreated.ok()) << recreated.status().ToString();
+  EXPECT_TRUE(recreated->retained_snapshots().empty());
+  EXPECT_FALSE(FileExists(RetainedPath(paths, 20)));
+
+  CleanUp(paths);
+}
+
+TEST(StoreTest, DefaultRetentionKeepsOnlyTheLiveSnapshot) {
+  TestWorld world = MakeWorld(20, 111);
+  const StorePaths paths = MakeStorePaths("retention_default");
+  auto store = DurableStore::Create(world.graph, paths.snapshot, paths.wal,
+                                    MakeStoreOptions());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store->Apply(world.ops[i]).ok());
+    if ((i + 1) % 5 == 0) {
+      ASSERT_TRUE(store->Checkpoint().ok());
+    }
+  }
+  EXPECT_TRUE(store->retained_snapshots().empty());
+  EXPECT_FALSE(FileExists(RetainedPath(paths, 0)));
+  EXPECT_FALSE(FileExists(RetainedPath(paths, 5)));
+  CleanUp(paths);
+}
+
 }  // namespace
 }  // namespace dkc

@@ -34,7 +34,9 @@
 //       yet applied) at the first epoch reaching seq n; --readers=R runs R
 //       concurrent threads reading the published SolutionView (lock-free
 //       epoch snapshots) while ingest runs; --top=K prints the K
-//       highest-score groups at the end.
+//       highest-score groups at the end; --keep-snapshots=N retains the
+//       N-1 most recent checkpoint snapshots beside the live one as
+//       "<snapshot>.<seq>" point-in-time rotations.
 //
 // All subcommands also accept --ws=n,degree,beta to synthesize a
 // Watts-Strogatz graph instead of --file (handy without datasets), and
@@ -84,6 +86,8 @@ int Usage() {
                "(default 1)\n"
                "  solve:  --k=4 --method=HG|GC|L|LP|OPT [--out=path]\n"
                "          [--no-preprocess] [--preprocess-reorder]\n"
+               "          [--partitions=P]  partition-parallel solve "
+               "(byte-identical at any P)\n"
                "  verify: --solution=path\n"
                "  cover:  --k=5 --min-k=3 [--pairs]\n"
                "  match:  [--exact]\n"
@@ -96,7 +100,9 @@ int Usage() {
                "          [--checkpoint-every=n] [--no-sync] "
                "[--crash-after=n] [--no-skip]\n"
                "          [--batch=N] [--readers=R] [--top=K]\n"
-               "          [--crash-in-commit-window=n]\n");
+               "          [--crash-in-commit-window=n]\n"
+               "          [--keep-snapshots=N]  retain N-1 point-in-time "
+               "rotations beside the live snapshot\n");
   return 2;
 }
 
@@ -159,6 +165,7 @@ int RunSolve(const dkc::Flags& flags, const dkc::Graph& g) {
   options.budget.memory_bytes = flags.GetInt("budget-mb", 0) * (1 << 20);
   options.preprocess = !flags.GetBool("no-preprocess", false);
   options.preprocess_reorder = flags.GetBool("preprocess-reorder", false);
+  options.partitions = static_cast<int>(flags.GetInt("partitions", 0));
   const auto pool = MakePool(flags);
   options.pool = pool.get();
   auto result = dkc::Solve(g, options);
@@ -179,6 +186,17 @@ int RunSolve(const dkc::Flags& flags, const dkc::Graph& g) {
                 static_cast<unsigned long long>(pre.peeled_edges),
                 static_cast<unsigned long long>(pre.unsupported_edges),
                 pre.rounds, pre.elapsed_ms);
+  }
+  for (const dkc::PartitionStats& ps : result->partitions) {
+    std::printf("partition %d: %u owned + %u ghost nodes "
+                "(%u boundary, %llu cut edges), %llu local edges, "
+                "%llu committed locally, %llu deferred to stitch, %.1f ms\n",
+                ps.index, ps.owned_nodes, ps.ghost_nodes, ps.boundary_nodes,
+                static_cast<unsigned long long>(ps.boundary_edges),
+                static_cast<unsigned long long>(ps.local_edges),
+                static_cast<unsigned long long>(ps.local_committed),
+                static_cast<unsigned long long>(ps.stitch_deferred),
+                ps.elapsed_ms);
   }
   std::printf("method %s k=%d -> %u disjoint cliques in %.1f ms "
               "(%.1f%% of nodes covered)\n",
@@ -414,6 +432,8 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
   options.checkpoint_every =
       static_cast<uint64_t>(flags.GetInt("checkpoint-every", 0));
   options.sync_every_append = !flags.GetBool("no-sync", false);
+  options.keep_snapshots =
+      static_cast<int>(flags.GetInt("keep-snapshots", 1));
   const long crash_in_window =
       static_cast<long>(flags.GetInt("crash-in-commit-window", 0));
   if (crash_in_window > 0) {
@@ -608,6 +628,15 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
   }
   std::printf("final |S|=%u seq=%llu\n", store->solver().solution_size(),
               static_cast<unsigned long long>(store->applied_seq()));
+  if (!store->retained_snapshots().empty()) {
+    std::string seqs;
+    for (uint64_t seq : store->retained_snapshots()) {
+      if (!seqs.empty()) seqs += ' ';
+      seqs += std::to_string(seq);
+    }
+    std::printf("retained point-in-time snapshots at seqs: %s\n",
+                seqs.c_str());
+  }
 
   const long top = static_cast<long>(flags.GetInt("top", 0));
   if (top > 0) {

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -21,6 +22,8 @@
 #include "graph/dag.h"
 #include "graph/ordering.h"
 #include "graph/preprocess.h"
+#include "store/store.h"
+#include "store/wal.h"
 #include "util/cpu.h"
 
 namespace {
@@ -369,6 +372,68 @@ void BM_DynamicUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DynamicUpdate)->Arg(3)->Arg(4)->Arg(5);
+
+// WAL append without fsync: the user-space persist hot path (encode +
+// fwrite). With fsync on the row measures the disk, not the code, so the
+// no-sync variant is the one that would expose any overhead added to the
+// syscall seam in builds where fault injection is compiled out.
+void BM_WalAppendNoSync(benchmark::State& state) {
+  const std::string path = "/tmp/dkc_bench_wal.wal";
+  std::remove(path.c_str());
+  auto writer = dkc::WalWriter::Open(path);
+  if (!writer.ok()) {
+    state.SkipWithError("WAL open failed");
+    return;
+  }
+  dkc::WalRecord rec;
+  rec.is_insert = true;
+  rec.u = 17;
+  rec.v = 42;
+  for (auto _ : state) {
+    ++rec.seq;
+    const dkc::Status status = writer->Append(rec, /*sync=*/false);
+    benchmark::DoNotOptimize(status.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_WalAppendNoSync);
+
+// Persisted single-update apply, fsync off: WAL encode + buffered append +
+// engine apply. The fsync-on figure (~120us/update on this container) is
+// recorded by bench_fig7_table8_updates --persist.
+void BM_StoreApplyNoSync(benchmark::State& state) {
+  dkc::Graph g = MakeWs(2000, 12);
+  dkc::Rng rng(0xD12);
+  auto workload = dkc::MakeMixedWorkload(g, 4096, 4096, rng);
+  dkc::StoreOptions options;
+  options.dynamic.k = 3;
+  options.sync_every_append = false;
+  const std::string snapshot = "/tmp/dkc_bench_store.snap";
+  const std::string wal = "/tmp/dkc_bench_store.wal";
+  auto store =
+      dkc::DurableStore::Create(workload.prepared, snapshot, wal, options);
+  if (!store.ok()) {
+    state.SkipWithError("store create failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& op = workload.ops[i % workload.ops.size()];
+    dkc::UpdateOp next;
+    next.edge = op.edge;
+    // Alternate the op with its inverse so state stays reusable.
+    next.is_insert =
+        !store->solver().graph().HasEdge(op.edge.first, op.edge.second);
+    const dkc::Status status = store->Apply(next);
+    benchmark::DoNotOptimize(status.ok());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  std::remove(snapshot.c_str());
+  std::remove(wal.c_str());
+}
+BENCHMARK(BM_StoreApplyNoSync);
 
 // --json=path: machine-readable results beside the normal console table —
 // one JSON document with a row per benchmark run, consumed by the CI

@@ -1,5 +1,6 @@
 #include "io/atomic_file.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -11,8 +12,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "io/fault.h"
+
 namespace dkc {
 namespace {
+
+std::atomic<uint64_t> g_parent_dir_sync_failures{0};
 
 Status Errno(const std::string& what, const std::string& path) {
   return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
@@ -21,49 +26,76 @@ Status Errno(const std::string& what, const std::string& path) {
 // fsync the directory containing `path` so the rename itself is durable.
 // Best-effort: some filesystems refuse O_RDONLY directory fds; the rename
 // is still atomic, just not crash-durable until the next journal flush.
+// Failures are counted (AtomicFileStats) and logged once per process so a
+// host where EVERY publish is non-durable is visible, not silent.
 void SyncParentDir(const std::string& path) {
   const size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY);
+  const int fd = fio::Open(FaultSite::kDirOpen, dir.c_str(), O_RDONLY);
+  bool failed = fd < 0;
   if (fd >= 0) {
-    ::fsync(fd);
+    failed = fio::Fsync(FaultSite::kDirFsync, fd) != 0;
     ::close(fd);
+  }
+  if (failed &&
+      g_parent_dir_sync_failures.fetch_add(1, std::memory_order_relaxed) ==
+          0) {
+    std::fprintf(stderr,
+                 "dkc: warning: directory fsync of '%s' failed (%s); renames "
+                 "here are atomic but not crash-durable\n",
+                 dir.c_str(), std::strerror(errno));
   }
 }
 
 }  // namespace
 
+AtomicFileStats GetAtomicFileStats() {
+  AtomicFileStats stats;
+  stats.parent_dir_sync_failures =
+      g_parent_dir_sync_failures.load(std::memory_order_relaxed);
+  return stats;
+}
+
 std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
 
 Status AtomicWriteFile(const std::string& path, std::string_view data) {
   const std::string tmp = AtomicTempPath(path);
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = fio::Open(FaultSite::kAtomicOpen, tmp.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Errno("cannot open", tmp);
 
   size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    const ssize_t n = fio::Write(FaultSite::kAtomicWrite, fd,
+                                 data.data() + written, data.size() - written);
+    if (n <= 0) {
+      // n == 0 on a nonempty buffer would loop forever; treat it as the
+      // no-progress error it is (ENOSPC-style short write at EOF).
+      if (n < 0 && errno == EINTR) continue;
+      if (n == 0) errno = EIO;
       const Status status = Errno("write to", tmp);
       ::close(fd);
-      ::unlink(tmp.c_str());
+      fio::Unlink(FaultSite::kAtomicUnlink, tmp.c_str());
       return status;
     }
     written += static_cast<size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (fio::Fsync(FaultSite::kAtomicFsync, fd) != 0) {
     const Status status = Errno("fsync", tmp);
     ::close(fd);
-    ::unlink(tmp.c_str());
+    fio::Unlink(FaultSite::kAtomicUnlink, tmp.c_str());
     return status;
   }
-  if (::close(fd) != 0) return Errno("close", tmp);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (fio::Close(FaultSite::kAtomicClose, fd) != 0) {
+    const Status status = Errno("close", tmp);
+    fio::Unlink(FaultSite::kAtomicUnlink, tmp.c_str());
+    return status;
+  }
+  if (fio::Rename(FaultSite::kAtomicRename, tmp.c_str(), path.c_str()) != 0) {
     const Status status = Errno("rename over", path);
-    ::unlink(tmp.c_str());
+    fio::Unlink(FaultSite::kAtomicUnlink, tmp.c_str());
     return status;
   }
   SyncParentDir(path);

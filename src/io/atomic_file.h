@@ -10,12 +10,23 @@
 #ifndef DKC_IO_ATOMIC_FILE_H_
 #define DKC_IO_ATOMIC_FILE_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "util/status.h"
 
 namespace dkc {
+
+/// Process-wide counters for the best-effort corners of atomic publishes.
+struct AtomicFileStats {
+  /// Directory fsyncs that failed after a rename. Each one means a publish
+  /// was atomic but not crash-durable on its own (the rename still lands
+  /// with the filesystem's next journal flush). Logged once per process.
+  uint64_t parent_dir_sync_failures = 0;
+};
+
+AtomicFileStats GetAtomicFileStats();
 
 /// Atomically replace (or create) `path` with `data`. The temp file is
 /// `path` + ".tmp"; a stale temp left by an earlier crash is overwritten.

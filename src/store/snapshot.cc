@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "io/atomic_file.h"
+#include "io/fault.h"
 #include "store/crc32.h"
 #include "util/binio.h"
 
@@ -59,6 +60,8 @@ Status WriteSnapshot(const SolutionState& state, uint64_t applied_seq,
 }
 
 StatusOr<LoadedSnapshot> ReadSnapshot(const std::string& path) {
+  DKC_RETURN_IF_ERROR(fio::Probe(FaultSite::kSnapshotReadOpen,
+                                 "cannot open snapshot '" + path + "'"));
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IOError("cannot open snapshot '" + path + "'");

@@ -4,12 +4,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "io/atomic_file.h"
+#include "io/fault.h"
 
 namespace dkc {
 namespace {
@@ -64,7 +67,8 @@ StatusOr<DurableStore> DurableStore::Create(const Graph& g,
   // retained snapshot rotations of that previous store must not be
   // mistaken for this one's history.
   for (uint64_t seq : ScanRetained(snapshot_path)) {
-    std::remove(RetainedName(snapshot_path, seq).c_str());
+    fio::Unlink(FaultSite::kStoreUnlink,
+                RetainedName(snapshot_path, seq).c_str());
   }
   DKC_RETURN_IF_ERROR(AtomicWriteFile(wal_path, ""));
   auto wal = WalWriter::Open(wal_path);
@@ -155,7 +159,13 @@ StatusOr<DurableStore> DurableStore::Open(const std::string& snapshot_path,
   return store;
 }
 
+Status DurableStore::Seal(Status status) {
+  if (seal_.ok()) seal_ = status;
+  return status;
+}
+
 Status DurableStore::Apply(const UpdateOp& op) {
+  if (sealed()) return seal_;
   const auto [u, v] = op.edge;
   // Validate against the live graph before logging: the WAL must contain
   // only records that replay cleanly.
@@ -173,25 +183,35 @@ Status DurableStore::Apply(const UpdateOp& op) {
   rec.is_insert = op.is_insert;
   rec.u = u;
   rec.v = v;
-  DKC_RETURN_IF_ERROR(wal_->Append(rec, options_.sync_every_append));
+  const Status logged = wal_->Append(rec, options_.sync_every_append);
+  // Past validation, every failure seals: a failed append/sync leaves the
+  // durable boundary unknown (see the header's syscall-failure policy).
+  if (!logged.ok()) return Seal(logged);
 
   const Status applied =
       op.is_insert ? solver_->InsertEdge(u, v) : solver_->DeleteEdge(u, v);
   if (!applied.ok()) {
-    return Status::Internal("validated update rejected by engine: " +
-                            applied.ToString());
+    return Seal(Status::Internal("validated update rejected by engine: " +
+                                 applied.ToString()));
   }
   applied_seq_ = rec.seq;
 
   if (options_.checkpoint_every > 0 &&
       applied_seq_ - checkpoint_seq_ >= options_.checkpoint_every) {
-    return Checkpoint();
+    // The update itself is durable and applied, so it stays acknowledged
+    // no matter how the auto-checkpoint fares: a checkpoint I/O failure
+    // seals the store (visible via sealed()) without retracting the ack —
+    // returning the error here would leave the caller unable to tell an
+    // un-acknowledged update from an acknowledged one that merely failed
+    // to checkpoint.
+    (void)Checkpoint();
   }
   return Status::OK();
 }
 
 Status DurableStore::ApplyBatch(std::span<const UpdateOp> ops) {
   if (ops.empty()) return Status::OK();
+  if (sealed()) return seal_;
   // Validate the whole epoch before logging — atomic reject, nothing
   // hits the WAL; the log must contain only groups that replay cleanly.
   DKC_RETURN_IF_ERROR(solver_->ValidateBatch(ops));
@@ -205,24 +225,27 @@ Status DurableStore::ApplyBatch(std::span<const UpdateOp> ops) {
   }
   // The group-commit durability point: members + commit marker in one
   // buffered write, one fsync for the whole epoch.
-  DKC_RETURN_IF_ERROR(wal_->AppendGroup(recs, options_.sync_every_append));
+  const Status logged = wal_->AppendGroup(recs, options_.sync_every_append);
+  if (!logged.ok()) return Seal(logged);
   if (options_.after_group_flush) options_.after_group_flush(recs.back().seq);
 
   const Status applied = solver_->ApplyBatch(ops);
   if (!applied.ok()) {
-    return Status::Internal("validated batch rejected by engine: " +
-                            applied.ToString());
+    return Seal(Status::Internal("validated batch rejected by engine: " +
+                                 applied.ToString()));
   }
   applied_seq_ = recs.back().seq;
 
   if (options_.checkpoint_every > 0 &&
       applied_seq_ - checkpoint_seq_ >= options_.checkpoint_every) {
-    return Checkpoint();
+    // Acknowledged regardless of the auto-checkpoint outcome — see Apply.
+    (void)Checkpoint();
   }
   return Status::OK();
 }
 
 Status DurableStore::Checkpoint() {
+  if (sealed()) return seal_;
   // Retention: hard-link the outgoing snapshot aside under the seq it
   // covers BEFORE the publish replaces the primary path — the atomic
   // rename swaps the inode out, so the link keeps the old bytes, and a
@@ -233,37 +256,114 @@ Status DurableStore::Checkpoint() {
     if (!std::binary_search(retained_snapshots_.begin(),
                             retained_snapshots_.end(), checkpoint_seq_)) {
       const std::string aside = RetainedName(snapshot_path_, checkpoint_seq_);
-      std::remove(aside.c_str());  // untracked leftover from a crash
-      if (::link(snapshot_path_.c_str(), aside.c_str()) != 0) {
-        return Status::IOError("link '" + snapshot_path_ + "' -> '" + aside +
-                               "': " + std::strerror(errno));
+      // untracked leftover from a crash
+      fio::Unlink(FaultSite::kStoreUnlink, aside.c_str());
+      if (fio::Link(FaultSite::kStoreLink, snapshot_path_.c_str(),
+                    aside.c_str()) != 0) {
+        return Seal(Status::IOError("link '" + snapshot_path_ + "' -> '" +
+                                    aside + "': " + std::strerror(errno)));
       }
       // checkpoint_seq_ only grows, so appending keeps the list sorted.
       retained_snapshots_.push_back(checkpoint_seq_);
     }
   }
-  DKC_RETURN_IF_ERROR(
-      WriteSnapshot(solver_->state(), applied_seq_, snapshot_path_));
+  const Status published =
+      WriteSnapshot(solver_->state(), applied_seq_, snapshot_path_);
+  if (!published.ok()) return Seal(published);
   // The snapshot now covers every logged record; compact the WAL. Crash
   // before this point: Open skips the covered records by seq.
   wal_.reset();  // close before replacing the inode
-  DKC_RETURN_IF_ERROR(AtomicWriteFile(wal_path_, ""));
+  const Status compacted = AtomicWriteFile(wal_path_, "");
+  if (!compacted.ok()) return Seal(compacted);
   auto wal = WalWriter::Open(wal_path_);
-  if (!wal.ok()) return wal.status();
+  if (!wal.ok()) return Seal(wal.status());
   wal_ = std::move(wal).value();
   checkpoint_seq_ = applied_seq_;
   ++checkpoints_taken_;
   // Enforce the retention window (also shrinks history when a store is
-  // reopened with a smaller keep_snapshots).
+  // reopened with a smaller keep_snapshots). Best-effort like the rest of
+  // retention pruning: a failed unlink leaves a stale rotation behind, it
+  // does not un-checkpoint the store.
   const size_t keep = options_.keep_snapshots > 1
                           ? static_cast<size_t>(options_.keep_snapshots) - 1
                           : 0;
   while (retained_snapshots_.size() > keep) {
-    std::remove(
+    fio::Unlink(
+        FaultSite::kStoreUnlink,
         RetainedName(snapshot_path_, retained_snapshots_.front()).c_str());
     retained_snapshots_.erase(retained_snapshots_.begin());
   }
   return Status::OK();
+}
+
+Status DurableStore::Reopen() {
+  if (!sealed()) {
+    return Status::InvalidArgument("Reopen on a store that is not sealed");
+  }
+  // Close the writer first: a poisoned writer can still hold torn bytes in
+  // its stdio buffer, and the fclose flushes them to disk where the scan
+  // below can see (and cut) them.
+  wal_.reset();
+  auto scan = ReadWal(wal_path_);
+  if (!scan.ok()) return scan.status();
+  // Acknowledged-boundary cut: a record past applied_seq_ can be durable
+  // without ever having been acknowledged — a failed sync after the
+  // append landed, or an engine refusal after a successful sync. No
+  // caller was told it committed, so it must not replay.
+  uint64_t keep = 0;
+  uint64_t bytes = 0;
+  for (const WalSegment& seg : scan->segments) {
+    bytes += (seg.count + (seg.batched ? 1 : 0)) * kWalRecordBytes;
+    if (scan->records[seg.first + seg.count - 1].seq > applied_seq_) break;
+    keep = bytes;
+  }
+  DKC_RETURN_IF_ERROR(TruncateWal(wal_path_, keep));
+  auto reopened = Open(snapshot_path_, wal_path_, options_);
+  if (!reopened.ok()) return reopened.status();
+  if (options_.sync_every_append && reopened->applied_seq_ != applied_seq_) {
+    // With per-append fsync every acknowledged record is durable, so
+    // recovery must land exactly on the acknowledged boundary; anything
+    // else would silently rewind history. (Without fsync-per-append the
+    // durability contract already waives acknowledged-survive, and a
+    // shorter recovered prefix is the documented trade.)
+    return Status::Corruption(
+        "Reopen recovered seq " + std::to_string(reopened->applied_seq_) +
+        " but " + std::to_string(applied_seq_) + " was acknowledged");
+  }
+  solver_.reset();
+  solver_.emplace(std::move(*reopened->solver_));
+  wal_ = std::move(*reopened->wal_);
+  retained_snapshots_ = std::move(reopened->retained_snapshots_);
+  applied_seq_ = reopened->applied_seq_;
+  checkpoint_seq_ = reopened->checkpoint_seq_;
+  replayed_records_ = reopened->replayed_records_;
+  recovered_torn_tail_ = reopened->recovered_torn_tail_;
+  recovered_torn_group_ = reopened->recovered_torn_group_;
+  seal_ = Status::OK();
+  return Status::OK();
+}
+
+Status RetryReopen(DurableStore* store, const ReopenRetryOptions& options) {
+  if (options.max_attempts <= 0) {
+    return Status::InvalidArgument("RetryReopen needs max_attempts >= 1");
+  }
+  const std::function<Status()> reopen =
+      options.reopen ? options.reopen : [store] { return store->Reopen(); };
+  uint64_t backoff = options.initial_backoff_ms;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (options.sleep_ms) {
+        options.sleep_ms(backoff);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+      backoff = std::min(backoff * 2, options.max_backoff_ms);
+    }
+    last = reopen();
+    if (last.ok()) return last;
+  }
+  return last;
 }
 
 }  // namespace dkc

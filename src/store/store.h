@@ -26,6 +26,27 @@
 // Corruption is never repaired silently: a bit-flipped snapshot section or
 // WAL record fails Open with Corruption. Only a *torn tail* — the unique
 // signature of a crash mid-append — is truncated away.
+//
+// Syscall-failure policy (the sealed/Reopen lifecycle):
+//  * A *validation* failure (InvalidArgument/NotFound, or a batch that
+//    fails ValidateBatch) is a clean refusal — nothing was logged, nothing
+//    changed, the store keeps serving and accepting updates.
+//  * Any *post-validation I/O error* — a failed WAL append/flush/fsync, a
+//    failed snapshot publish or WAL compaction inside Checkpoint — SEALS
+//    the store: the in-memory engine stays consistent and reads keep
+//    working (solver(), published views), but every further
+//    Apply/ApplyBatch/Checkpoint refuses with the sealing Status. Sealing
+//    is deliberate: after e.g. a failed fsync the durable boundary on disk
+//    is unknown (the kernel may have dropped the dirty pages), so
+//    acknowledging anything more would risk silent loss.
+//  * Reopen() is the only way out of sealed: it closes the writer, cuts
+//    the WAL back to the *acknowledged* boundary (durable-but-unacked
+//    records past applied_seq() were never acknowledged to any caller and
+//    must not survive), and re-runs full crash recovery from disk. On
+//    success the store is unsealed with state byte-identical to a
+//    never-faulted run over the acknowledged prefix; on failure (fault
+//    still present) it stays sealed and Reopen can be retried —
+//    RetryReopen wraps that loop in capped exponential backoff.
 
 #ifndef DKC_STORE_STORE_H_
 #define DKC_STORE_STORE_H_
@@ -101,6 +122,20 @@ class DurableStore {
   /// outgoing snapshot is retained aside first (see StoreOptions).
   Status Checkpoint();
 
+  /// True once a post-validation I/O error has sealed the store: reads
+  /// keep working, every mutation refuses with seal_status() (see header
+  /// comment).
+  bool sealed() const { return !seal_.ok(); }
+  /// The first sealing error (OK while unsealed).
+  const Status& seal_status() const { return seal_; }
+
+  /// The only exit from sealed: cut the WAL to the acknowledged boundary
+  /// and re-run crash recovery from disk, re-arming ingest on success.
+  /// InvalidArgument if the store is not sealed. On failure the store
+  /// stays sealed (with the original sealing status) and Reopen may be
+  /// retried once the fault clears.
+  Status Reopen();
+
   /// Open a snapshot file — typically a retained "<snapshot_path>.<seq>"
   /// rotation — as a standalone point-in-time engine, without touching the
   /// live store or any WAL. `dynamic.k` is overridden by the snapshot's.
@@ -146,8 +181,12 @@ class DurableStore {
   /// by seq.
   static std::vector<uint64_t> ScanRetained(const std::string& snapshot_path);
 
+  /// Record `status` as the sealing error (first one wins) and return it.
+  Status Seal(Status status);
+
   std::optional<DynamicSolver> solver_;  // engaged for the object's lifetime
   std::optional<WalWriter> wal_;
+  Status seal_ = Status::OK();
   std::vector<uint64_t> retained_snapshots_;
   std::string snapshot_path_;
   std::string wal_path_;
@@ -159,6 +198,25 @@ class DurableStore {
   bool recovered_torn_tail_ = false;
   bool recovered_torn_group_ = false;
 };
+
+/// Policy for RetryReopen's backoff loop. The sleep is a seam so tests and
+/// the serve drill can run the whole schedule on a fake clock.
+struct ReopenRetryOptions {
+  int max_attempts = 8;
+  uint64_t initial_backoff_ms = 10;
+  uint64_t max_backoff_ms = 1000;  // cap for the exponential doubling
+  /// Sleep seam; empty = std::this_thread::sleep_for. Called with the
+  /// backoff before every attempt after the first.
+  std::function<void(uint64_t)> sleep_ms;
+  /// Reopen seam; empty = store->Reopen(). Serve overrides this to take
+  /// its reader-handshake lock around each attempt.
+  std::function<Status()> reopen;
+};
+
+/// Retry `store->Reopen()` (or options.reopen) up to max_attempts times
+/// with capped exponential backoff. OK as soon as one attempt unseals the
+/// store; otherwise the last attempt's error.
+Status RetryReopen(DurableStore* store, const ReopenRetryOptions& options);
 
 }  // namespace dkc
 

@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include "io/fault.h"
 #include "store/crc32.h"
 #include "util/binio.h"
 
@@ -48,7 +49,7 @@ std::string EncodeWalGroup(std::span<const WalRecord> recs) {
 }
 
 StatusOr<WalWriter> WalWriter::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "ab");
+  std::FILE* file = fio::FOpen(FaultSite::kWalOpen, path.c_str(), "ab");
   if (file == nullptr) {
     return Status::IOError("cannot open WAL '" + path +
                            "': " + std::strerror(errno));
@@ -56,11 +57,20 @@ StatusOr<WalWriter> WalWriter::Open(const std::string& path) {
   return WalWriter(file, path);
 }
 
+Status WalWriter::Poison(Status status) {
+  if (poison_.ok()) poison_ = status;
+  return status;
+}
+
 Status WalWriter::Append(const WalRecord& rec, bool sync) {
+  if (!poison_.ok()) return poison_;
   const std::string encoded = EncodeWalRecord(rec);
-  if (std::fwrite(encoded.data(), 1, encoded.size(), file_.get()) !=
-      encoded.size()) {
-    return Status::IOError("WAL append to '" + path_ + "' failed");
+  if (fio::FWrite(FaultSite::kWalAppend, encoded.data(), 1, encoded.size(),
+                  file_.get()) != encoded.size()) {
+    // A short buffered append leaves a torn record in the stdio buffer; no
+    // later append may land after it (fsyncgate discipline — see header).
+    return Poison(Status::IOError("WAL append to '" + path_ + "' failed: " +
+                                  std::strerror(errno)));
   }
   if (sync) return Sync();
   return Status::OK();
@@ -68,26 +78,40 @@ Status WalWriter::Append(const WalRecord& rec, bool sync) {
 
 Status WalWriter::AppendGroup(std::span<const WalRecord> recs, bool sync) {
   if (recs.empty()) return Status::OK();
+  if (!poison_.ok()) return poison_;
   // One encode, one write: the commit marker rides in the same buffer as
   // the members, so the kernel sees the whole epoch as a single append.
   const std::string encoded = EncodeWalGroup(recs);
-  if (std::fwrite(encoded.data(), 1, encoded.size(), file_.get()) !=
-      encoded.size()) {
-    return Status::IOError("WAL group append to '" + path_ + "' failed");
+  if (fio::FWrite(FaultSite::kWalGroupAppend, encoded.data(), 1,
+                  encoded.size(), file_.get()) != encoded.size()) {
+    return Poison(Status::IOError("WAL group append to '" + path_ +
+                                  "' failed: " + std::strerror(errno)));
   }
   if (sync) return Sync();
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
-  if (std::fflush(file_.get()) != 0 || ::fsync(fileno(file_.get())) != 0) {
-    return Status::IOError("WAL sync of '" + path_ + "' failed");
+  if (!poison_.ok()) return poison_;
+  // Poison on EITHER failure: after a failed fsync the kernel may discard
+  // the dirty pages and a retried fsync can report success without the
+  // data ever reaching disk (the fsyncgate failure mode). The writer is
+  // done; only a reopen re-establishes a trustworthy durable boundary.
+  if (fio::FFlush(FaultSite::kWalFlush, file_.get()) != 0) {
+    return Poison(Status::IOError("WAL flush of '" + path_ + "' failed: " +
+                                  std::strerror(errno)));
+  }
+  if (fio::Fsync(FaultSite::kWalFsync, fileno(file_.get())) != 0) {
+    return Poison(Status::IOError("WAL fsync of '" + path_ + "' failed: " +
+                                  std::strerror(errno)));
   }
   return Status::OK();
 }
 
 StatusOr<WalReadResult> ReadWal(const std::string& path) {
   WalReadResult result;
+  DKC_RETURN_IF_ERROR(
+      fio::Probe(FaultSite::kWalReadOpen, "cannot open WAL '" + path + "'"));
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return result;  // no WAL yet — empty log
   std::ostringstream buffer;
@@ -205,7 +229,8 @@ StatusOr<WalReadResult> ReadWal(const std::string& path) {
 }
 
 Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
-  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+  if (fio::Truncate(FaultSite::kWalTruncate, path.c_str(),
+                    static_cast<off_t>(valid_bytes)) != 0) {
     return Status::IOError("cannot truncate WAL '" + path +
                            "': " + std::strerror(errno));
   }

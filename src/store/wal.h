@@ -81,6 +81,15 @@ std::string EncodeWalRecord(const WalRecord& rec);
 std::string EncodeWalGroup(std::span<const WalRecord> recs);
 
 /// Appender. Not thread-safe; the store serializes access.
+///
+/// Failure policy (the fsyncgate rule): after ANY failed append, flush, or
+/// fsync the writer is *poisoned* — every later Append/AppendGroup/Sync
+/// returns the original error without touching the file. A failed fsync
+/// may have dropped dirty pages the kernel will never retry, and a short
+/// buffered append leaves a torn frame in the stdio buffer; in both cases
+/// a later "successful" sync would acknowledge updates that are not
+/// durable. The only way forward is to reopen the WAL (a fresh Open) and
+/// re-establish the durable boundary by re-reading the file.
 class WalWriter {
  public:
   /// Open `path` for appending (created if missing).
@@ -98,14 +107,22 @@ class WalWriter {
 
   Status Sync();
 
+  /// The first error, if any I/O on this writer has failed. While set,
+  /// every mutation returns it (see class comment).
+  const Status& poisoned() const { return poison_; }
+
   const std::string& path() const { return path_; }
 
  private:
   explicit WalWriter(std::FILE* file, std::string path)
       : file_(file, &std::fclose), path_(std::move(path)) {}
 
+  /// Record the first failure and return it.
+  Status Poison(Status status);
+
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
   std::string path_;
+  Status poison_ = Status::OK();
 };
 
 /// One replay unit of the log: either a single bare record or a committed

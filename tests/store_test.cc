@@ -199,6 +199,29 @@ TEST(WalTest, AppendReadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(WalTest, FailedSyncPoisonsWriterOnFullDevice) {
+  // fsyncgate regression that needs no injection seam (so it also runs in
+  // Release builds): /dev/full accepts the buffered append but fails the
+  // flush with ENOSPC. After that failed sync the writer must never again
+  // report success — the kernel may already have dropped the page, and a
+  // later "clean" sync would acknowledge a record that is not durable.
+  if (!std::ifstream("/dev/full").is_open()) {
+    GTEST_SKIP() << "no /dev/full on this system";
+  }
+  auto writer = WalWriter::Open("/dev/full");
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  const auto records = MakeRecords(2);
+  const Status failed = writer->Append(records[0], /*sync=*/true);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), Status::Code::kIOError);
+  EXPECT_FALSE(writer->poisoned().ok());
+  // Poisoned: the next append fails up front with the original error,
+  // without touching the file.
+  EXPECT_EQ(writer->Append(records[1], /*sync=*/false).ToString(),
+            failed.ToString());
+  EXPECT_EQ(writer->Sync().ToString(), failed.ToString());
+}
+
 TEST(WalTest, TornTailAtEveryCutPointTruncates) {
   // A crash mid-append leaves 1..20 bytes of the final record. Every cut
   // must be recognized as torn (not Corruption), keeping the two complete

@@ -46,12 +46,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <sstream>
 #include <string>
@@ -68,6 +71,7 @@
 #include "graph/dag.h"
 #include "graph/ordering.h"
 #include "io/edge_list.h"
+#include "io/fault.h"
 #include "io/solution_io.h"
 #include "matching/matching.h"
 #include "store/store.h"
@@ -102,7 +106,12 @@ int Usage() {
                "          [--batch=N] [--readers=R] [--top=K]\n"
                "          [--crash-in-commit-window=n]\n"
                "          [--keep-snapshots=N]  retain N-1 point-in-time "
-               "rotations beside the live snapshot\n");
+               "rotations beside the live snapshot\n"
+               "          [--inject-fault=SITE:NTH[:COUNT[:ERRNO]][,...]]  "
+               "(fault-injection builds only)\n"
+               "          [--reopen-max-attempts=N] [--reopen-backoff-ms=B]\n"
+               "          exit codes: 0 clean, 1 error, 2 corruption,\n"
+               "          3 I/O error, 4 sealed and reopen gave up\n");
   return 2;
 }
 
@@ -413,6 +422,77 @@ dkc::StatusOr<std::vector<dkc::UpdateOp>> ReadUpdateStream(std::istream& in) {
   return ops;
 }
 
+// serve's documented exit codes (see Usage): corruption and I/O are
+// distinguishable by a supervisor; 4 (gave-up-sealed) is returned at the
+// call sites that exhaust the reopen retry budget.
+int ServeExitCode(const dkc::Status& status) {
+  switch (status.code()) {
+    case dkc::Status::Code::kCorruption: return 2;
+    case dkc::Status::Code::kIOError: return 3;
+    default: return 1;
+  }
+}
+
+// --inject-fault=SITE:NTH[:COUNT[:ERRNO]][,...]. SITE is a FaultSiteName
+// ("wal_fsync", "atomic_write", ...), NTH the 1-based matching hit to fail,
+// COUNT how many consecutive hits fail (0 = sticky), ERRNO a symbolic name
+// (ENOSPC/EIO/EINTR) or a number.
+bool ParseFaultRules(const std::string& spec,
+                     std::vector<dkc::FaultRule>* rules, std::string* error) {
+  const auto number = [](const std::string& s, uint64_t* out) {
+    char* end = nullptr;
+    errno = 0;
+    *out = std::strtoull(s.c_str(), &end, 10);
+    return end != s.c_str() && *end == '\0' && errno == 0;
+  };
+  std::istringstream list(spec);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    std::vector<std::string> fields;
+    std::istringstream row(item);
+    std::string field;
+    while (std::getline(row, field, ':')) fields.push_back(field);
+    if (fields.size() < 2 || fields.size() > 4) {
+      *error = "bad fault rule '" + item + "'";
+      return false;
+    }
+    dkc::FaultRule rule;
+    if (!dkc::FaultSiteFromName(fields[0], &rule.site)) {
+      *error = "unknown fault site '" + fields[0] + "'";
+      return false;
+    }
+    uint64_t value = 0;
+    if (!number(fields[1], &value)) {
+      *error = "bad hit count in '" + item + "'";
+      return false;
+    }
+    rule.hit = value;
+    if (fields.size() >= 3) {
+      if (!number(fields[2], &value)) {
+        *error = "bad fail count in '" + item + "'";
+        return false;
+      }
+      rule.fail_count = value;
+    }
+    if (fields.size() >= 4) {
+      if (fields[3] == "ENOSPC") {
+        rule.error = ENOSPC;
+      } else if (fields[3] == "EIO") {
+        rule.error = EIO;
+      } else if (fields[3] == "EINTR") {
+        rule.error = EINTR;
+      } else if (number(fields[3], &value)) {
+        rule.error = static_cast<int>(value);
+      } else {
+        *error = "bad errno in '" + item + "'";
+        return false;
+      }
+    }
+    rules->push_back(rule);
+  }
+  return !rules->empty();
+}
+
 int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
   const std::string snapshot = flags.GetString("snapshot", "");
   const std::string wal = flags.GetString("wal", "");
@@ -446,9 +526,27 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
                      "crash injection inside group-commit window at seq "
                      "%llu\n",
                      static_cast<unsigned long long>(last_seq));
-        std::_Exit(3);
+        std::_Exit(7);
       }
     };
+  }
+
+  // Syscall fault injection (drills the sealed/Reopen degraded path).
+  const std::string fault_spec = flags.GetString("inject-fault", "");
+  if (!fault_spec.empty()) {
+    if (!dkc::kFaultInjectionCompiledIn) {
+      std::fprintf(stderr,
+                   "serve: --inject-fault needs a -DDKC_FAULT_INJECTION=ON "
+                   "build\n");
+      return 1;
+    }
+    std::vector<dkc::FaultRule> rules;
+    std::string parse_error;
+    if (!ParseFaultRules(fault_spec, &rules, &parse_error)) {
+      std::fprintf(stderr, "serve: --inject-fault: %s\n", parse_error.c_str());
+      return Usage();
+    }
+    dkc::FaultInjector::Instance().Arm(std::move(rules));
   }
 
   // Recover if a snapshot is already published at the path, else bootstrap
@@ -459,7 +557,7 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
     if (!opened.ok()) {
       std::fprintf(stderr, "serve: recovery failed: %s\n",
                    opened.status().ToString().c_str());
-      return 1;
+      return ServeExitCode(opened.status());
     }
     store = std::move(opened).value();
     std::printf("recovered: seq=%llu, %llu WAL records replayed%s%s, |S|=%u\n",
@@ -474,7 +572,7 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
     if (!created.ok()) {
       std::fprintf(stderr, "serve: bootstrap failed: %s\n",
                    created.status().ToString().c_str());
-      return 1;
+      return ServeExitCode(created.status());
     }
     store = std::move(created).value();
     std::printf("created: |S|=%u, snapshot at %s\n",
@@ -502,7 +600,7 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
     }();
     if (!parsed.ok()) {
       std::fprintf(stderr, "serve: %s\n", parsed.status().ToString().c_str());
-      return 1;
+      return ServeExitCode(parsed.status());
     }
     ops = std::move(parsed).value();
   }
@@ -519,65 +617,155 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
   const long batch = static_cast<long>(flags.GetInt("batch", 0));
   const long readers = static_cast<long>(flags.GetInt("readers", 0));
 
+  // Reader/Reopen handshake: Reopen replaces the solver object, so
+  // published_view() may only be called while no reopen is in flight.
+  // Readers try-lock shared and — while the exclusive lock is held — fall
+  // back to the immutable SolutionView they already hold: a reader is
+  // never blocked by recovery, it just keeps serving the last published
+  // epoch (degraded mode).
+  std::shared_mutex store_mu;
+
   // --readers=R: concurrent threads polling the published SolutionView
   // while ingest runs — each read is a lock-free atomic load of an
   // immutable epoch snapshot, never a partially applied epoch.
   std::atomic<bool> ingest_done{false};
   std::atomic<uint64_t> reader_inconsistent{0};
   std::atomic<uint64_t> reader_epochs_seen{0};
+  std::atomic<uint64_t> reader_degraded_reads{0};
   std::vector<std::thread> reader_threads;
   for (long r = 0; r < readers; ++r) {
-    reader_threads.emplace_back([&store, &ingest_done, &reader_inconsistent,
-                                 &reader_epochs_seen] {
+    reader_threads.emplace_back([&store, &store_mu, &ingest_done,
+                                 &reader_inconsistent, &reader_epochs_seen,
+                                 &reader_degraded_reads] {
       uint64_t last_epoch = UINT64_MAX;
       uint64_t distinct = 0;
+      uint64_t degraded = 0;
+      std::shared_ptr<const dkc::SolutionView> view;
       while (!ingest_done.load(std::memory_order_acquire)) {
-        const auto view = store->solver().published_view();
-        std::string error;
-        if (!view->Consistent(&error)) {
-          reader_inconsistent.fetch_add(1, std::memory_order_relaxed);
+        if (store_mu.try_lock_shared()) {
+          view = store->solver().published_view();
+          store_mu.unlock_shared();
+        } else {
+          ++degraded;  // reopen in flight: serve the cached epoch
         }
-        if (view->epoch != last_epoch) {
-          last_epoch = view->epoch;
-          ++distinct;
+        if (view) {
+          std::string error;
+          if (!view->Consistent(&error)) {
+            reader_inconsistent.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (view->epoch != last_epoch) {
+            last_epoch = view->epoch;
+            ++distinct;
+          }
         }
         std::this_thread::yield();
       }
       reader_epochs_seen.fetch_add(distinct, std::memory_order_relaxed);
+      reader_degraded_reads.fetch_add(degraded, std::memory_order_relaxed);
     });
   }
+
+  const long reopen_max_attempts =
+      static_cast<long>(flags.GetInt("reopen-max-attempts", 8));
+  const long reopen_backoff_ms =
+      static_cast<long>(flags.GetInt("reopen-backoff-ms", 10));
+  uint64_t reopens = 0;
+
+  // Degraded-mode recovery: the store sealed; keep serving reads (the
+  // readers above never block) and retry Reopen on capped exponential
+  // backoff. False = retry budget exhausted, caller exits 4.
+  const auto recover = [&]() -> bool {
+    std::fprintf(stderr, "serve: sealed: %s\n",
+                 store->seal_status().ToString().c_str());
+    std::printf("sealed: degraded mode at seq=%llu, retrying reopen\n",
+                static_cast<unsigned long long>(store->applied_seq()));
+    std::fflush(stdout);
+    dkc::ReopenRetryOptions retry;
+    retry.max_attempts = static_cast<int>(reopen_max_attempts);
+    retry.initial_backoff_ms = static_cast<uint64_t>(reopen_backoff_ms);
+    retry.reopen = [&] {
+      std::unique_lock<std::shared_mutex> lock(store_mu);
+      return store->Reopen();
+    };
+    const dkc::Status reopened = dkc::RetryReopen(&*store, retry);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "serve: reopen gave up after %ld attempts: %s\n",
+                   reopen_max_attempts, reopened.ToString().c_str());
+      return false;
+    }
+    ++reopens;
+    std::printf("reopened: seq=%llu, ingest resumed\n",
+                static_cast<unsigned long long>(store->applied_seq()));
+    return true;
+  };
 
   dkc::Timer timer;
   uint64_t applied = 0;
   dkc::Status ingest_error = dkc::Status::OK();
   size_t failed_op = 0;
+  bool gave_up = false;
+  // Stream entry i carries seq seq0 + (i - skip) + 1, so after a reopen
+  // ingest resumes at the entry following the acknowledged boundary.
+  const uint64_t seq0 = store->applied_seq();
+  const auto resume_index = [&]() -> size_t {
+    return static_cast<size_t>(static_cast<int64_t>(skip) +
+                               static_cast<int64_t>(store->applied_seq()) -
+                               static_cast<int64_t>(seq0));
+  };
+  // Guard against a sticky fault livelocking the seal/reopen/seal cycle: a
+  // second seal with no acknowledged progress since the last one means
+  // reopen is not fixing anything — give up instead of spinning.
+  uint64_t last_seal_seq = UINT64_MAX;
   if (batch >= 1) {
     // Epoch-batched ingestion: one WAL group commit (single fsync) per
     // --batch updates. --crash-after acts at epoch granularity.
     const size_t n = static_cast<size_t>(batch);
     const std::span<const dkc::UpdateOp> all(ops);
-    for (size_t i = static_cast<size_t>(skip); i < all.size(); i += n) {
+    size_t i = static_cast<size_t>(skip);
+    while (i < all.size()) {
       const size_t len = std::min(n, all.size() - i);
       const dkc::Status status = store->ApplyBatch(all.subspan(i, len));
       if (!status.ok()) {
-        ingest_error = status;
-        failed_op = i;
-        break;
+        if (!store->sealed()) {  // clean refusal (validation) — no retry
+          ingest_error = status;
+          failed_op = i;
+          break;
+        }
+        if (store->applied_seq() == last_seal_seq || !recover()) {
+          ingest_error = store->seal_status();
+          gave_up = true;
+          break;
+        }
+        last_seal_seq = store->applied_seq();
+        i = resume_index();
+        continue;
       }
       applied += len;
       if (crash_after > 0 && applied >= static_cast<uint64_t>(crash_after)) {
         std::fprintf(stderr, "crash injection after %llu updates\n",
                      static_cast<unsigned long long>(applied));
-        std::_Exit(3);
+        std::_Exit(7);
       }
+      i += len;
     }
   } else {
-    for (size_t i = static_cast<size_t>(skip); i < ops.size(); ++i) {
+    size_t i = static_cast<size_t>(skip);
+    while (i < ops.size()) {
       const dkc::Status status = store->Apply(ops[i]);
       if (!status.ok()) {
-        ingest_error = status;
-        failed_op = i;
-        break;
+        if (!store->sealed()) {
+          ingest_error = status;
+          failed_op = i;
+          break;
+        }
+        if (store->applied_seq() == last_seal_seq || !recover()) {
+          ingest_error = store->seal_status();
+          gave_up = true;
+          break;
+        }
+        last_seal_seq = store->applied_seq();
+        i = resume_index();
+        continue;
       }
       ++applied;
       if (crash_after > 0 && applied >= static_cast<uint64_t>(crash_after)) {
@@ -585,24 +773,35 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
         // per-append fsync is the only thing allowed to save us.
         std::fprintf(stderr, "crash injection after %llu updates\n",
                      static_cast<unsigned long long>(applied));
-        std::_Exit(3);
+        std::_Exit(7);
       }
+      ++i;
     }
   }
   const double total_ms = timer.ElapsedMillis();
   ingest_done.store(true, std::memory_order_release);
   for (std::thread& t : reader_threads) t.join();
+  if (gave_up) {
+    std::fprintf(stderr, "serve: store sealed and reopen exhausted: %s\n",
+                 ingest_error.ToString().c_str());
+    return 4;
+  }
   if (!ingest_error.ok()) {
     std::fprintf(stderr, "serve: op %zu: %s\n", failed_op,
                  ingest_error.ToString().c_str());
-    return 1;
+    return ServeExitCode(ingest_error);
+  }
+  if (reopens > 0) {
+    std::printf("reopens: %llu (sealed/degraded cycles survived)\n",
+                static_cast<unsigned long long>(reopens));
   }
   if (!reader_threads.empty()) {
     std::printf("readers: %ld threads, %llu distinct epochs observed, "
-                "%llu inconsistent views\n",
+                "%llu inconsistent views, %llu degraded reads\n",
                 readers,
                 static_cast<unsigned long long>(reader_epochs_seen.load()),
-                static_cast<unsigned long long>(reader_inconsistent.load()));
+                static_cast<unsigned long long>(reader_inconsistent.load()),
+                static_cast<unsigned long long>(reader_degraded_reads.load()));
     if (reader_inconsistent.load() != 0) return 1;
   }
   if (applied > 0) {
@@ -611,11 +810,21 @@ int RunServe(const dkc::Flags& flags, const dkc::Graph& g) {
                 static_cast<unsigned long long>(applied), total_ms,
                 1e6 * total_ms / static_cast<double>(applied),
                 static_cast<unsigned long long>(store->checkpoints_taken()));
-    const dkc::Status final_checkpoint = store->Checkpoint();
+    dkc::Status final_checkpoint = store->Checkpoint();
+    if (!final_checkpoint.ok() && store->sealed()) {
+      // One more degraded cycle: a transient fault at the final checkpoint
+      // is recoverable like any mid-stream one.
+      if (!recover()) {
+        std::fprintf(stderr, "serve: store sealed and reopen exhausted: %s\n",
+                     final_checkpoint.ToString().c_str());
+        return 4;
+      }
+      final_checkpoint = store->Checkpoint();
+    }
     if (!final_checkpoint.ok()) {
       std::fprintf(stderr, "serve: final checkpoint: %s\n",
                    final_checkpoint.ToString().c_str());
-      return 1;
+      return ServeExitCode(final_checkpoint);
     }
   }
 
